@@ -1,0 +1,43 @@
+"""Figure 5 — TPC-W ordering mix: response time vs load, 5 replicas vs
+centralized.
+
+Shape assertions (not absolute numbers):
+* at light load (25 tps) the two systems are comparable;
+* the centralized system is saturated by ~100 tps while the 5-replica
+  cluster still tracks the offered load;
+* read-only transactions are cheaper than updates (many short queries).
+"""
+
+from repro.bench import figures
+
+
+def _by(points, system, load):
+    return next(p for p in points if p.system == system and p.load_tps == load)
+
+
+def test_fig5_tpcw_response_times(benchmark):
+    points = benchmark.pedantic(
+        lambda: figures.fig5_tpcw(fast=True, quiet=False), rounds=1, iterations=1
+    )
+
+    light_rep = _by(points, "SRCA-Rep", 25)
+    light_cen = _by(points, "centralized", 25)
+    heavy_rep = _by(points, "SRCA-Rep", 100)
+    heavy_cen = _by(points, "centralized", 100)
+
+    # light load: same ballpark (within ~3x)
+    assert light_cen.rt("update") < 3 * light_rep.rt("update") + 20
+
+    # centralized saturates: it cannot track 100 tps, the cluster can
+    assert heavy_cen.throughput < 0.75 * 100
+    assert heavy_rep.throughput > 0.80 * 100
+
+    # saturation shows in response time too
+    assert heavy_cen.rt("update") > 3 * heavy_rep.rt("update")
+
+    # the mix's many short queries: read-only cheaper than update
+    for point in points:
+        assert point.rt("read-only") < point.rt("update")
+
+    # §6.1: very few aborts (far below 1%) at the paper's loads
+    assert light_rep.abort_rate < 0.01

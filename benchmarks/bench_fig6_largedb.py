@@ -1,0 +1,46 @@
+"""Figure 6 — large I/O-bound database: update response time vs load for
+5 and 10 replicas; §6.2 text claim about the centralized reference.
+
+Shape assertions:
+* 5 replicas keep update response times moderate (~<=250 ms) at 20 tps;
+* 10 replicas do the same at 35 tps, where 5 replicas have degraded;
+* the single-server reference saturates around 4-5 tps.
+"""
+
+from repro.bench import figures
+
+
+def _by(points, system, load):
+    return next(p for p in points if p.system == system and p.load_tps == load)
+
+
+def test_fig6_largedb_scalability(benchmark):
+    points = benchmark.pedantic(
+        lambda: figures.fig6_largedb(fast=True, quiet=False), rounds=1, iterations=1
+    )
+
+    five_mid = _by(points, "5 replicas", 20)
+    ten_mid = _by(points, "10 replicas", 20)
+    five_hi = _by(points, "5 replicas", 35)
+    ten_hi = _by(points, "10 replicas", 35)
+
+    # 5 replicas healthy at 20 tps
+    assert five_mid.rt("update") < 260
+    assert five_mid.throughput > 0.7 * 20
+
+    # at 35 tps only the 10-replica system stays healthy
+    assert ten_hi.rt("update") < 260
+    assert ten_hi.throughput > 0.65 * 35
+    assert five_hi.rt("update") > ten_hi.rt("update")
+
+    # more replicas = more read capacity (the workload is 80% queries)
+    assert ten_hi.throughput > five_hi.throughput
+
+
+def test_fig6_centralized_saturates_near_4tps(benchmark):
+    point = benchmark.pedantic(
+        lambda: figures.fig6_centralized_reference(fast=True), rounds=1, iterations=1
+    )
+    # offered 8 tps; a single I/O-bound server delivers only ~4-6
+    assert point.throughput < 6.5
+    assert point.rt("update") > 250  # deeply saturated

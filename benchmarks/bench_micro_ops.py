@@ -1,0 +1,123 @@
+"""Micro-benchmarks of the hot middleware/engine paths (real wall-clock).
+
+These measure the Python implementation itself (ops/sec of validation,
+writeset handling, parsing, point statements) rather than simulated time.
+"""
+
+import itertools
+import random
+
+from repro.core.validation import Certifier, WsRecord
+from repro.sim import Simulator
+from repro.sql.parser import parse, parse_cached
+from repro.storage import Database
+from repro.storage.writeset import UPDATE, WriteOp, WriteSet
+from repro.testing import run_txn
+
+
+def _ws(keys):
+    return WriteSet([WriteOp("t", k, UPDATE, {"k": k, "v": 0}) for k in keys])
+
+
+def test_certifier_validation_throughput(benchmark):
+    rng = random.Random(1)
+    counter = itertools.count()
+
+    def setup():
+        certifier = Certifier()
+        records = [
+            WsRecord(f"g{next(counter)}", _ws(rng.sample(range(10_000), 10)), cert=i)
+            for i in range(1000)
+        ]
+        return (certifier, records), {}
+
+    def validate_batch(certifier, records):
+        for record in records:
+            certifier.validate(record)
+        return certifier.validated
+
+    result = benchmark.pedantic(validate_batch, setup=setup, rounds=20)
+    assert result > 0
+
+
+def test_writeset_conflict_check(benchmark):
+    rng = random.Random(2)
+    ws_a = _ws(rng.sample(range(100_000), 100))
+    sets = [_ws(rng.sample(range(100_000), 100)) for _ in range(100)]
+
+    def check():
+        return sum(1 for other in sets if ws_a.conflicts_with(other))
+
+    benchmark(check)
+
+
+def test_sql_parse_speed(benchmark):
+    sql = (
+        "SELECT i.i_title, i.i_cost, a.a_lname FROM item i "
+        "JOIN author a ON i.i_a_id = a.a_id "
+        "WHERE i.i_subject = ? AND i.i_cost BETWEEN 5 AND 50 "
+        "ORDER BY i.i_title LIMIT 20"
+    )
+    benchmark(parse, sql)
+
+
+def test_sql_parse_cached_speed(benchmark):
+    sql = "UPDATE item SET i_stock = i_stock - 1 WHERE i_id = ?"
+    parse_cached(sql)
+    benchmark(parse_cached, sql)
+
+
+def test_engine_point_update_speed(benchmark):
+    sim = Simulator()
+    db = Database(sim, name="bench")
+    db.run_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    db.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 1001)])
+    counter = itertools.count()
+
+    def one_txn():
+        key = (next(counter) % 1000) + 1
+        run_txn(sim, db, [("UPDATE kv SET v = v + 1 WHERE k = ?", (key,))])
+
+    benchmark(one_txn)
+
+
+def test_engine_indexed_select_speed(benchmark):
+    sim = Simulator()
+    db = Database(sim, name="bench")
+    db.run_ddl("CREATE TABLE kv (k INT PRIMARY KEY, grp INT, v INT)")
+    db.run_ddl("CREATE INDEX i_grp ON kv (grp)")
+    db.bulk_load(
+        "kv", [{"k": k, "grp": k % 50, "v": k} for k in range(1, 2001)]
+    )
+    from repro.testing import query
+
+    def one_query():
+        return query(sim, db, "SELECT k, v FROM kv WHERE grp = ? ORDER BY k", (7,))
+
+    rows = benchmark(one_query)
+    assert len(rows) == 40
+
+
+def test_writeset_apply_speed(benchmark):
+    sim = Simulator()
+    source = Database(sim, name="src")
+    source.run_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    source.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 101)])
+    txn = source.begin()
+    sim.run_process(source.execute(txn, "UPDATE kv SET v = v + 1"))
+    writeset = source.get_writeset(txn)
+    source.abort(txn)
+
+    target = Database(sim, name="dst")
+    target.run_ddl("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    target.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 101)])
+
+    def apply_once():
+        def body():
+            rtxn = target.begin(remote=True)
+            yield from target.apply_writeset(rtxn, writeset)
+            target.abort(rtxn)  # keep the target reusable
+
+        sim.run_process(body())
+
+    benchmark(apply_once)

@@ -1,0 +1,130 @@
+"""Failover: the §5.4 case analysis, live.
+
+A client works against a 3-replica cluster while the replica serving it
+crashes at three different moments:
+
+* **case 1** — while the connection is idle: the driver reconnects and
+  the client never notices;
+* **case 2** — mid-transaction: the transaction is lost, the client gets
+  an exception and simply restarts it on the same connection;
+* **case 3** — during the commit call: the driver asks a survivor about
+  the in-doubt transaction by its identifier; depending on whether the
+  writeset made it to the sequencer the commit either completes
+  transparently (3b) or raises "did not commit" (3a).
+
+Run:  python examples/failover_demo.py
+"""
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import ConnectionLost, TransactionOutcomeUnknownAborted
+from repro.testing import query
+
+
+def fresh_cluster(seed):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=seed))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 4)])
+    return cluster, Driver(cluster.network, cluster.discovery)
+
+
+def case1_idle():
+    print("case 1: crash while idle — fully transparent")
+    cluster, driver = fresh_cluster(seed=1)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        yield sim.sleep(1.0)  # crash happens here, between transactions
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        print(f"  read {result.rows} via {conn.address} "
+              f"after {conn.failovers} transparent failover(s)")
+
+    sim.call_at(0.5, lambda: cluster.crash(0))
+    sim.run_process(client())
+
+
+def case2_mid_transaction():
+    print("case 2: crash mid-transaction — transaction lost, restartable")
+    cluster, driver = fresh_cluster(seed=2)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 111 WHERE k = 1")
+        yield sim.sleep(1.0)  # crash strikes while the txn is open
+        try:
+            yield from conn.execute("UPDATE kv SET v = 222 WHERE k = 2")
+        except ConnectionLost as err:
+            print(f"  got: {type(err).__name__}: {err}")
+        # restart the business transaction on the same connection
+        yield from conn.execute("UPDATE kv SET v = 111 WHERE k = 1")
+        yield from conn.commit()
+        print(f"  restarted and committed via {conn.address}")
+
+    sim.call_at(0.5, lambda: cluster.crash(0))
+    sim.run_process(client())
+    sim.run(until=sim.now + 2.0)
+    survivor = cluster.alive_replicas()[0]
+    print("  survivor state:", query(sim, survivor.node.db,
+                                     "SELECT k, v FROM kv ORDER BY k"))
+
+
+def case3a_commit_lost():
+    print("case 3a: crash during commit, writeset never sequenced")
+    cluster, driver = fresh_cluster(seed=3)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 5 WHERE k = 1")
+        sim.call_at(sim.now, lambda: cluster.crash(0))  # kill it *now*
+        try:
+            yield from conn.commit()
+            print("  unexpected: commit succeeded")
+        except TransactionOutcomeUnknownAborted as err:
+            print(f"  got (after the view change confirmed the crash at "
+                  f"t={sim.now:.2f}s): {type(err).__name__}")
+
+    sim.run_process(client())
+    sim.run(until=sim.now + 2.0)
+    survivor = cluster.alive_replicas()[0]
+    print("  survivor sees k=1 ->",
+          query(sim, survivor.node.db, "SELECT v FROM kv WHERE k = 1"))
+
+
+def case3b_commit_survives():
+    print("case 3b: crash during commit, writeset already sequenced")
+    cluster, driver = fresh_cluster(seed=4)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 7 WHERE k = 1")
+        sim.call_at(sim.now + 0.05, lambda: cluster.crash(0))  # after multicast
+        yield from conn.commit()
+        print(f"  commit returned successfully "
+              f"(failovers used: {conn.failovers})")
+
+    sim.run_process(client())
+    sim.run(until=sim.now + 3.0)
+    for replica in cluster.alive_replicas():
+        print(f"  {replica.name} sees k=1 ->",
+              query(sim, replica.node.db, "SELECT v FROM kv WHERE k = 1"))
+
+
+def main() -> None:
+    case1_idle()
+    print()
+    case2_mid_transaction()
+    print()
+    case3a_commit_lost()
+    print()
+    case3b_commit_survives()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: a 3-replica SI-Rep cluster in under a minute.
+
+Starts the full decentralized deployment of the paper (one middleware
+replica per database replica, total-order group communication between
+them), connects a JDBC-style client, and shows:
+
+* transparent replication (every replica has the data),
+* snapshot reads that never block behind writers,
+* write/write conflict certification across replicas,
+* the 1-copy-SI audit over the recorded histories.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import TransactionAborted
+from repro.testing import query
+
+
+def main() -> None:
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=42))
+    sim = cluster.sim
+    driver = Driver(cluster.network, cluster.discovery)
+
+    def session():
+        conn = yield from driver.connect(cluster.new_client_host())
+        print(f"connected to middleware replica {conn.address}")
+
+        # DDL goes through the total-order channel: all replicas apply it
+        yield from conn.execute(
+            "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT NOT NULL, "
+            "balance FLOAT)"
+        )
+        yield from conn.execute(
+            "INSERT INTO accounts (id, owner, balance) VALUES "
+            "(1, 'alice', 100.0), (2, 'bob', 250.0), (3, 'carol', 0.0)"
+        )
+        yield from conn.commit()
+
+        # a multi-statement transaction
+        yield from conn.execute(
+            "UPDATE accounts SET balance = balance - 50 WHERE id = 2"
+        )
+        yield from conn.execute(
+            "UPDATE accounts SET balance = balance + 50 WHERE id = 3"
+        )
+        yield from conn.commit()
+        result = yield from conn.execute(
+            "SELECT owner, balance FROM accounts ORDER BY id"
+        )
+        yield from conn.commit()
+        print("after transfer:", result.rows)
+        return conn
+
+    conn = sim.run_process(session())
+
+    # Two concurrent writers of the same row on different replicas: the
+    # middleware certifies writesets in total order; exactly one commits.
+    outcomes = {}
+
+    def contender(name, address, delta):
+        c = yield from driver.connect(cluster.new_client_host(), address=address)
+        try:
+            yield from c.execute(
+                "UPDATE accounts SET balance = balance + ? WHERE id = 1", (delta,)
+            )
+            yield from c.commit()
+            outcomes[name] = "committed"
+        except TransactionAborted as err:
+            outcomes[name] = f"aborted ({type(err).__name__})"
+
+    sim.spawn(contender("writer-A", "R0", 10), name="writer-A")
+    sim.spawn(contender("writer-B", "R1", 99), name="writer-B")
+    sim.run()
+    print("concurrent same-row writers:", outcomes)
+
+    # Every replica converged to the same state
+    sim.run(until=sim.now + 2.0)
+    for node in cluster.nodes:
+        rows = query(sim, node.db, "SELECT balance FROM accounts WHERE id = 1")
+        print(f"  {node.name}: account 1 balance = {rows[0]['balance']}")
+
+    # And the whole execution is 1-copy snapshot isolation:
+    report = cluster.one_copy_report()
+    print("1-copy-SI audit:", "OK" if report.ok else report.violations)
+
+
+if __name__ == "__main__":
+    main()

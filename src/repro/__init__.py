@@ -1,0 +1,40 @@
+"""SI-Rep: middleware based data replication providing snapshot isolation.
+
+A complete reproduction of Lin, Kemme, Patino-Martinez, Jimenez-Peris
+(SIGMOD 2005).  The public surface:
+
+* :class:`repro.core.SIRepCluster` — the decentralized deployment
+  (Fig. 3(c)): SRCA-Rep / SRCA-Opt over a group communication system.
+* :class:`repro.core.SRCA` — the centralized algorithm of Fig. 1 in its
+  ``basic`` / ``opt`` / ``full`` variants.
+* :class:`repro.core.primary_backup.PrimaryBackupSystem` — Fig. 3(b).
+* :class:`repro.client.Driver` — the transparent JDBC-like driver with
+  automatic failover (§5.4).
+* :mod:`repro.si` — SI-schedules, SI-equivalence, and the 1-copy-SI
+  checker (Definitions 1-3).
+* :mod:`repro.storage` / :mod:`repro.sql` — the PostgreSQL-style SI
+  database replicas the middleware runs on.
+* :mod:`repro.workloads` / :mod:`repro.bench` — the §6 evaluation.
+"""
+
+from repro.client import Connection, Driver
+from repro.core import ClusterConfig, SIRepCluster, SRCA
+from repro.si import Schedule, TxnSpec, check_one_copy_si
+from repro.sim import Simulator
+from repro.storage import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SIRepCluster",
+    "ClusterConfig",
+    "SRCA",
+    "Driver",
+    "Connection",
+    "Database",
+    "Simulator",
+    "Schedule",
+    "TxnSpec",
+    "check_one_copy_si",
+    "__version__",
+]

@@ -1,0 +1,128 @@
+"""Calibrated service-time models — every constant of the §6 experiments.
+
+The paper's testbed was a cluster of Pentium-4 PCs running PostgreSQL.
+We do not chase its absolute numbers; the constants below are chosen so
+the *relationships* the figures report hold:
+
+* applying a writeset costs ~20% of executing the full transaction
+  (§6.3) — see ``apply_fraction`` below;
+* Fig. 7 (update-intensive, CPU-bound): the centralized system saturates
+  well before the 5-replica SRCA, which reaches roughly 2.5x its
+  throughput; [20] sits between them, throttled by table-lock conflicts;
+* Fig. 5 (TPC-W): centralized and 5-replica response times are close at
+  25 tps, centralized saturates by ~50-60 tps, the cluster carries
+  ~100 tps;
+* Fig. 6 (large DB, I/O-bound): a single replica saturates around
+  4-5 tps; 5 replicas hold <=200 ms response times to ~20 tps and 10
+  replicas to ~35 tps.
+
+All hooks return ``(cpu_seconds, disk_seconds)``.
+"""
+
+from __future__ import annotations
+
+from repro.storage.engine import CostModel
+
+#: §6.3: "Applying writesets takes only around 20% of the time it takes
+#: to execute the entire transaction."
+APPLY_FRACTION = 0.2
+
+
+class MicroCost(CostModel):
+    """Fig. 7 workload: small DB, CPU-bound, 10 single-row updates.
+
+    Full transaction execution = 10 statements x 1.2 ms + 1 ms commit
+    = 13 ms, giving a single server ~75 tps; writeset application is
+    20% of the statement work.
+    """
+
+    STATEMENT_CPU = 0.0012
+    COMMIT_CPU = 0.0010
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        return (self.STATEMENT_CPU, 0.0)
+
+    def writeset_apply(self, n_ops):
+        return (APPLY_FRACTION * self.STATEMENT_CPU * n_ops, 0.0)
+
+    def commit(self, n_writes):
+        return (self.COMMIT_CPU, 0.0)
+
+
+class TpcwCost(CostModel):
+    """Fig. 5 workload: TPC-W ordering mix, CPU-bound, ~200 MB DB.
+
+    Costs scale with rows examined/written so that the many short
+    queries are cheap relative to the multi-statement update
+    interactions; a single server saturates around 60 tps of the mix.
+    """
+
+    STATEMENT_BASE_CPU = 0.0032
+    ROW_EXAMINED_CPU = 0.0001
+    ROW_WRITTEN_CPU = 0.0040
+    COMMIT_CPU = 0.0020
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        cpu = (
+            self.STATEMENT_BASE_CPU
+            + rows_examined * self.ROW_EXAMINED_CPU
+            + rows_written * self.ROW_WRITTEN_CPU
+        )
+        return (cpu, 0.0)
+
+    def writeset_apply(self, n_ops):
+        # one statement's work per ~5 applied rows, i.e. ~20% of the
+        # write path that produced them
+        cpu = APPLY_FRACTION * n_ops * (self.STATEMENT_BASE_CPU + self.ROW_WRITTEN_CPU)
+        return (cpu, 0.0)
+
+    def commit(self, n_writes):
+        return (self.COMMIT_CPU, 0.0)
+
+
+class LargeDbCost(CostModel):
+    """Fig. 6 workload: 1.1 GB-scale DB, highly I/O bound (§6.2).
+
+    Reads miss the buffer pool: each examined row costs disk time, so
+    the 500-row range scan of the "medium" query takes ~175 ms and the
+    10-row update transaction ~50 ms — a single replica saturates around
+    5 tps, matching "the maximum achievable throughput is around 4 tps"
+    for the untuned single server.
+    """
+
+    ROW_EXAMINED_DISK = 0.00035
+    ROW_WRITTEN_DISK = 0.0040
+    STATEMENT_CPU = 0.0004
+    COMMIT_DISK = 0.0080  # log force
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        disk = (
+            rows_examined * self.ROW_EXAMINED_DISK
+            + rows_written * self.ROW_WRITTEN_DISK
+        )
+        return (self.STATEMENT_CPU, disk)
+
+    def writeset_apply(self, n_ops):
+        # applying after-images skips the read path: ~20% of execution
+        return (self.STATEMENT_CPU, APPLY_FRACTION * n_ops * self.ROW_WRITTEN_DISK * 1.4)
+
+    def commit(self, n_writes):
+        return (0.0, self.COMMIT_DISK if n_writes else 0.0)
+
+
+def full_execution_cost_micro() -> float:
+    """Total service time of one Fig. 7 transaction executed fully."""
+    model = MicroCost()
+    total = 0.0
+    for _ in range(10):
+        cpu, disk = model.statement("update", 1, 0, 1)
+        total += cpu + disk
+    cpu, disk = model.commit(10)
+    return total + cpu + disk
+
+
+def apply_cost_micro() -> float:
+    """Service time of applying the same transaction's writeset."""
+    model = MicroCost()
+    cpu, disk = model.writeset_apply(10)
+    return cpu + disk

@@ -1,0 +1,203 @@
+"""One experiment = system + workload + offered load -> measured point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core import ClusterConfig, SIRepCluster
+from repro.core.baselines import CentralizedSystem, TableLockSystem
+from repro.storage.engine import CostModel
+from repro.workloads import ClientPool, ProcClientPool, Workload
+from repro.workloads.stats import Stats
+
+
+@dataclass
+class LoadPoint:
+    """One measured point of a response-time-vs-load sweep."""
+
+    system: str
+    load_tps: float
+    throughput: float
+    mean_rt_ms: dict[str, float]
+    abort_rate: float
+    extras: dict = field(default_factory=dict)
+
+    def rt(self, category: str) -> float:
+        return self.mean_rt_ms.get(category, float("nan"))
+
+
+def _n_clients(load: float, expected_rt: float = 0.5) -> int:
+    """Enough closed-loop clients to offer ``load`` tps even when the
+    response time grows towards saturation."""
+    return max(8, int(load * expected_rt) + 4)
+
+
+def _collect(name: str, load: float, stats: Stats, **extras) -> LoadPoint:
+    return LoadPoint(
+        system=name,
+        load_tps=load,
+        throughput=stats.throughput(),
+        mean_rt_ms={
+            category: data["mean_ms"] for category, data in stats.summary().items()
+        },
+        abort_rate=stats.abort_rate(),
+        extras=extras,
+    )
+
+
+def run_sirep(
+    workload: Workload,
+    load: float,
+    n_replicas: int = 5,
+    hole_sync: bool = True,
+    cost_model: Optional[Callable[[], CostModel]] = None,
+    with_disk: bool = False,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> LoadPoint:
+    """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load."""
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=n_replicas,
+            hole_sync=hole_sync,
+            seed=seed,
+            cost_model=(lambda _i: cost_model()) if cost_model else None,
+            with_disk=with_disk,
+        )
+    )
+    workload.install(cluster)
+    pool = ClientPool(
+        cluster, workload, _n_clients(load), load, duration, warmup=warmup
+    )
+    stats = pool.run()
+    name = label or ("SRCA-Rep" if hole_sync else "SRCA-Opt")
+    return _collect(
+        name,
+        load,
+        stats,
+        hole_wait_fraction=cluster.hole_wait_fraction(),
+        certification_aborts=cluster.total_certification_aborts(),
+    )
+
+
+def run_centralized(
+    workload: Workload,
+    load: float,
+    cost_model: Optional[Callable[[], CostModel]] = None,
+    with_disk: bool = False,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> LoadPoint:
+    """Measure the single-database passthrough baseline at one load."""
+    system = CentralizedSystem(
+        seed=seed,
+        cost_model=cost_model() if cost_model else None,
+        with_disk=with_disk,
+    )
+    workload.install(system)
+    pool = ClientPool(
+        system, workload, _n_clients(load), load, duration, warmup=warmup
+    )
+    stats = pool.run()
+    return _collect("centralized", load, stats)
+
+
+def run_kernel(
+    workload: Workload,
+    load: float,
+    n_replicas: int = 5,
+    cost_model: Optional[Callable[[], CostModel]] = None,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> LoadPoint:
+    """Measure the Postgres-R(SI)-style kernel comparator at one load."""
+    from repro.core.kernel_replication import KernelReplicatedSystem
+
+    system = KernelReplicatedSystem(
+        n_replicas=n_replicas,
+        seed=seed,
+        cost_model=(lambda _i: cost_model()) if cost_model else None,
+    )
+    workload.install(system)
+    pool = ClientPool(
+        system, workload, _n_clients(load), load, duration, warmup=warmup
+    )
+    stats = pool.run()
+    return _collect("Postgres-R(SI)-style", load, stats)
+
+
+def run_until_confident(
+    run_point: Callable[[int], LoadPoint],
+    category: str = "update",
+    rel_half_width: float = 0.05,
+    min_seeds: int = 3,
+    max_seeds: int = 12,
+) -> tuple[LoadPoint, float]:
+    """The paper's stopping rule: "all tests were run until a 95/5
+    confidence interval was achieved."
+
+    Repeats ``run_point(seed)`` over seeds until the 95% confidence
+    interval of the chosen category's mean response time is within
+    ``rel_half_width`` of the mean (or ``max_seeds`` is hit).  Returns a
+    LoadPoint whose response times and throughput are seed-averages, and
+    the achieved relative half-width.
+    """
+    from repro.workloads.stats import mean_confidence_interval
+
+    points: list[LoadPoint] = []
+    achieved = float("inf")
+    for seed in range(max_seeds):
+        points.append(run_point(seed))
+        if len(points) < min_seeds:
+            continue
+        samples = [p.rt(category) for p in points]
+        mean, half = mean_confidence_interval(samples)
+        achieved = half / mean if mean else float("inf")
+        if achieved <= rel_half_width:
+            break
+    categories = set()
+    for p in points:
+        categories.update(p.mean_rt_ms)
+    averaged = LoadPoint(
+        system=points[0].system,
+        load_tps=points[0].load_tps,
+        throughput=sum(p.throughput for p in points) / len(points),
+        mean_rt_ms={
+            c: sum(p.mean_rt_ms.get(c, 0.0) for p in points) / len(points)
+            for c in categories
+        },
+        abort_rate=sum(p.abort_rate for p in points) / len(points),
+        extras={"seeds": len(points), "rel_ci": achieved},
+    )
+    return averaged, achieved
+
+
+def run_tablelock(
+    workload: Workload,
+    load: float,
+    n_replicas: int = 5,
+    cost_model: Optional[Callable[[], CostModel]] = None,
+    with_disk: bool = False,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+) -> LoadPoint:
+    """Measure the [20] table-locking protocol at one load."""
+    system = TableLockSystem(
+        workload.procedures(),
+        n_replicas=n_replicas,
+        seed=seed,
+        cost_model=(lambda _i: cost_model()) if cost_model else None,
+        with_disk=with_disk,
+    )
+    workload.install(system)
+    pool = ProcClientPool(
+        system, workload, _n_clients(load), load, duration, warmup=warmup
+    )
+    stats = pool.run()
+    return _collect("protocol of [20]", load, stats)

@@ -1,0 +1,56 @@
+"""Plain-text rendering of figure series (the paper's curves as tables)."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from repro.bench.harness import LoadPoint
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        return f"{value:8.1f}"
+    return str(value)
+
+
+def render_series(
+    title: str,
+    points: list[LoadPoint],
+    categories: Iterable[str] = ("update", "read-only"),
+    extras: Iterable[str] = (),
+) -> str:
+    """One table: rows = loads, columns = (system x category) mean RT."""
+    systems = []
+    for point in points:
+        if point.system not in systems:
+            systems.append(point.system)
+    loads = sorted({point.load_tps for point in points})
+    by_key = {(p.system, p.load_tps): p for p in points}
+    columns = ["load(tps)"]
+    for system in systems:
+        for category in categories:
+            columns.append(f"{system}/{category}(ms)")
+        columns.append(f"{system}/xput")
+        for extra in extras:
+            columns.append(f"{system}/{extra}")
+    lines = [title, "=" * len(title), "  ".join(f"{c:>24}" for c in columns)]
+    for load in loads:
+        cells = [f"{load:24.0f}"]
+        for system in systems:
+            point = by_key.get((system, load))
+            for category in categories:
+                value = point.rt(category) if point else None
+                cells.append(f"{_fmt(value):>24}")
+            cells.append(f"{_fmt(point.throughput if point else None):>24}")
+            for extra in extras:
+                value = point.extras.get(extra) if point else None
+                if isinstance(value, float):
+                    value = round(value, 4)
+                cells.append(f"{str(value if value is not None else '-'):>24}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""The SI-Rep JDBC-like client driver (paper §5.4)."""
+
+from repro.client.driver import Connection, Driver, QueryResult
+
+__all__ = ["Driver", "Connection", "QueryResult"]

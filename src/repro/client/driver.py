@@ -1,0 +1,295 @@
+"""The SI-Rep driver: transparent JDBC with automatic failover (§5.4).
+
+The driver discovers middleware replicas via the well-known multicast
+address, connects to one, and speaks the request/response protocol of
+:mod:`repro.core.protocol`.  When the replica crashes it reconnects to a
+survivor and resolves the connection state exactly as the paper's case
+analysis prescribes:
+
+1. *idle* (no transaction active, none being started): reconnect is
+   completely transparent;
+2. *transaction active, commit not yet submitted*: the transaction is
+   lost — the driver raises :class:`ConnectionLost`, the connection stays
+   usable and the client restarts the transaction;
+3. *commit in flight*: the driver asks a surviving replica about the
+   in-doubt transaction by its identifier.  If the writeset was delivered
+   the survivor knows the outcome (3b) — the commit returns transparently
+   or raises like any certification abort.  If the writeset never got
+   sequenced (3a) the survivor answers "aborted" once the view change
+   confirms the crash, and the driver raises
+   :class:`TransactionOutcomeUnknownAborted`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core import protocol
+from repro.errors import (
+    CertificationAborted,
+    ConnectionLost,
+    NoReplicaAvailable,
+    TransactionOutcomeUnknownAborted,
+)
+from repro.gcs import DiscoveryService
+from repro.net import Network
+from repro.net.network import Channel, ChannelClosed, Host
+
+
+@dataclass
+class QueryResult:
+    """Client-side statement result."""
+
+    rows: Optional[list]
+    columns: tuple
+    rowcount: int
+
+    def scalar(self) -> Any:
+        if not self.rows:
+            return None
+        first = self.rows[0]
+        return first[self.columns[0]] if self.columns else next(iter(first.values()))
+
+
+class Driver:
+    """Factory for connections; one per client process typically.
+
+    ``connect_retries``/``retry_delay`` control how long a connection
+    attempt keeps re-multicasting discovery before giving up — a failover
+    may race a backup/recovering replica's registration window.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        discovery: DiscoveryService,
+        connect_retries: int = 25,
+        retry_delay: float = 0.2,
+    ):
+        self.network = network
+        self.discovery = discovery
+        self.connect_retries = connect_retries
+        self.retry_delay = retry_delay
+
+    def connect(
+        self, host: Host, address: Optional[str] = None
+    ) -> Generator[Any, Any, "Connection"]:
+        """Discover replicas and open a connection from ``host``.
+
+        ``address`` pins the initial replica (tests, examples); failover
+        still moves to any survivor.
+        """
+        connection = Connection(self, host, preferred=address)
+        yield from connection._connect()
+        return connection
+
+
+class Connection:
+    """A JDBC-style connection with automatic failover."""
+
+    _seqs = itertools.count(1)
+
+    def __init__(self, driver: Driver, host: Host, preferred: Optional[str] = None):
+        self.driver = driver
+        self.host = host
+        self.autocommit = False
+        self._preferred = preferred
+        self._channel: Optional[Channel] = None
+        self._address: Optional[str] = None
+        #: identifier of the active transaction, assigned by the middleware
+        self._gid: Optional[str] = None
+        self._txn_active = False
+        #: last replicated (update) transaction this client committed —
+        #: after a failover, the new replica is told to wait for it so the
+        #: client keeps reading its own writes (session consistency)
+        self._last_update_gid: Optional[str] = None
+        self._resync_gid: Optional[str] = None
+        self.failovers = 0
+        self.closed = False
+
+    # -- connection management ----------------------------------------------------
+
+    def _connect(self) -> Generator[Any, Any, None]:
+        sim = self.driver.network.sim
+        for attempt in range(self.driver.connect_retries + 1):
+            if attempt:
+                yield sim.sleep(self.driver.retry_delay)
+            addresses = yield from self.driver.discovery.discover()
+            candidates = [a for a in addresses if a != self._address] or list(addresses)
+            if self._preferred in candidates:
+                # pin the preferred replica first (explicit placement)
+                candidates.remove(self._preferred)
+                candidates.insert(0, self._preferred)
+            else:
+                # "the driver connects to one of them": spread clients
+                # over the willing replicas
+                sim.rng("driver").shuffle(candidates)
+            for address in candidates:
+                try:
+                    self._channel = self.driver.network.connect(self.host, address)
+                    self._address = address
+                    return
+                except ChannelClosed:
+                    continue
+        raise NoReplicaAvailable("no middleware replica answered discovery")
+
+    def _reconnect(self) -> Generator[Any, Any, str]:
+        """Fail over to another replica; returns the crashed address."""
+        crashed = self._address or ""
+        self.failovers += 1
+        yield from self._connect()
+        # session consistency: the first statement on the new replica
+        # waits until our last update transaction has committed there
+        self._resync_gid = self._last_update_gid
+        return crashed
+
+    def _request(self, message) -> Generator[Any, Any, Any]:
+        assert self._channel is not None
+        self._channel.client_end.send(message)
+        response = yield from self._channel.client_end.recv()
+        return response
+
+    # -- public JDBC-ish surface ------------------------------------------------------
+
+    def execute(
+        self, sql: str, params: tuple = ()
+    ) -> Generator[Any, Any, QueryResult]:
+        """Run one SQL statement; starts a transaction if none is active."""
+        self._check_open()
+        request = protocol.ExecuteReq(
+            next(self._seqs), sql, tuple(params), after_gid=self._resync_gid
+        )
+        self._resync_gid = None
+        while True:
+            try:
+                response = yield from self._request(request)
+                break
+            except ChannelClosed:
+                crashed = yield from self._reconnect()
+                if self._txn_active:
+                    # case 2: the active transaction died with the replica
+                    self._txn_active = False
+                    self._gid = None
+                    raise ConnectionLost(
+                        f"replica {crashed!r} crashed; transaction lost, "
+                        "restart it on the new connection"
+                    )
+                # case 1: nothing was active — retry transparently,
+                # carrying the session-consistency marker
+                request = protocol.ExecuteReq(
+                    next(self._seqs), sql, tuple(params), after_gid=self._resync_gid
+                )
+                self._resync_gid = None
+        if response.error is not None:
+            self._txn_active = False
+            self._gid = None
+            raise protocol.unmarshal_error(response.error)
+        self._gid = response.gid
+        self._txn_active = True
+        result = QueryResult(
+            rows=response.rows, columns=response.columns, rowcount=response.rowcount
+        )
+        if self.autocommit:
+            yield from self.commit()
+        return result
+
+    def commit(self) -> Generator[Any, Any, None]:
+        """Commit the active transaction (no-op if none)."""
+        self._check_open()
+        if not self._txn_active:
+            return
+        gid = self._gid
+        request = protocol.CommitReq(next(self._seqs))
+        try:
+            response = yield from self._request(request)
+        except ChannelClosed:
+            # case 3: commit in flight when the replica died
+            crashed = yield from self._reconnect()
+            outcome = yield from self._inquire(gid, crashed)
+            self._txn_active = False
+            self._gid = None
+            if outcome == protocol.COMMITTED:
+                self._last_update_gid = gid
+                self._resync_gid = gid
+                return  # 3b, transparent
+            raise TransactionOutcomeUnknownAborted(
+                f"replica {crashed!r} crashed during commit of {gid}; "
+                "the transaction did not commit"
+            )
+        self._txn_active = False
+        committed_gid = self._gid
+        self._gid = None
+        if response.outcome != protocol.COMMITTED:
+            raise (
+                protocol.unmarshal_error(response.error)
+                if response.error
+                else CertificationAborted("transaction aborted")
+            )
+        if response.replicated and committed_gid is not None:
+            self._last_update_gid = committed_gid
+
+    def _inquire(self, gid: Optional[str], crashed: str) -> Generator[Any, Any, str]:
+        if gid is None:
+            return protocol.ABORTED
+        request = protocol.InquireReq(next(self._seqs), gid, crashed)
+        while True:
+            try:
+                response = yield from self._request(request)
+                return response.outcome
+            except ChannelClosed:
+                crashed_again = yield from self._reconnect()
+                request = protocol.InquireReq(next(self._seqs), gid, crashed_again)
+
+    def rollback(self) -> Generator[Any, Any, None]:
+        self._check_open()
+        if not self._txn_active:
+            return
+        request = protocol.RollbackReq(next(self._seqs))
+        try:
+            yield from self._request(request)
+        except ChannelClosed:
+            yield from self._reconnect()
+        self._txn_active = False
+        self._gid = None
+
+    def close(self) -> None:
+        self.closed = True
+        if self._channel is not None:
+            self._channel.close()
+
+    # -- misc -------------------------------------------------------------------------
+
+    def prepare(self, sql: str) -> "PreparedStatement":
+        """JDBC-style prepared statement bound to this connection.
+
+        Parsing is memoised middleware-side per SQL string, so the main
+        benefit here is the familiar API shape.
+        """
+        return PreparedStatement(self, sql)
+
+    @property
+    def address(self) -> Optional[str]:
+        """The middleware replica currently serving this connection."""
+        return self._address
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_active
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ConnectionLost("connection is closed")
+
+
+class PreparedStatement:
+    """A reusable parametrised statement (JDBC ``PreparedStatement``)."""
+
+    def __init__(self, connection: Connection, sql: str):
+        self.connection = connection
+        self.sql = sql
+
+    def execute(self, params: tuple = ()) -> Generator[Any, Any, QueryResult]:
+        result = yield from self.connection.execute(self.sql, params)
+        return result

@@ -1,0 +1,428 @@
+"""The evaluation baselines of §6.
+
+* :class:`CentralizedSystem` — "it still uses our middleware but the
+  middleware simply forwards requests to the single database and does not
+  perform any concurrency control, writeset retrieval, etc."  Speaks the
+  same wire protocol, so the unmodified SI-Rep driver connects to it.
+
+* :class:`TableLockSystem` — a reimplementation of the replication
+  protocol of [20] (Jiménez-Peris et al., ICDCS 2002) as described in
+  §6.3: clients submit *whole transactions* as parametrised procedure
+  calls that pre-declare the tables they access; the request is multicast
+  in total order; every replica enqueues the transaction's *table-level*
+  locks in delivery order; one replica (here: the client's local one)
+  executes the SQL, extracts the writeset, and multicasts it; remote
+  replicas apply it once their table locks are granted.  Two messages per
+  transaction, one client round trip — but coarse-grained locking.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.core import protocol
+from repro.errors import ReproError
+from repro.gcs import DiscoveryService, GcsConfig, GroupBus, Message, ViewChange
+from repro.net import LatencyModel, Network
+from repro.net.network import ChannelClosed
+from repro.sim import Event, Resource, Simulator
+from repro.sim.sync import OneShot
+from repro.storage import Database
+from repro.storage.engine import CostModel
+
+
+# ---------------------------------------------------------------------------
+# Centralized baseline
+# ---------------------------------------------------------------------------
+
+
+class CentralizedSystem:
+    """One database, one passthrough middleware, same client protocol."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cost_model: Optional[CostModel] = None,
+        with_disk: bool = False,
+        net_base_latency: float = 0.0002,
+        net_jitter: float = 0.0001,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(
+            self.sim,
+            latency=LatencyModel(
+                base=net_base_latency, jitter=net_jitter, rng=self.sim.rng("net")
+            ),
+        )
+        self.discovery = DiscoveryService(self.sim)
+        cpu = Resource(self.sim, "central.cpu")
+        disk = Resource(self.sim, "central.disk") if with_disk else None
+        self.db = Database(
+            self.sim,
+            name="central",
+            cost_model=cost_model,
+            cpu=cpu if cost_model else None,
+            disk=disk,
+        )
+        self.host = self.network.register("central")
+        self.discovery.register(self.host.address)
+        self._gids = itertools.count(1)
+        self._client_count = 0
+        self.sim.spawn(self._accept_loop(), name="central.accept", daemon=True)
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        for sql in ddl_statements:
+            self.db.run_ddl(sql)
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        self.db.bulk_load(table, rows)
+
+    def new_client_host(self, name: Optional[str] = None):
+        self._client_count += 1
+        return self.network.register(name or f"client-{self._client_count}")
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            chan = yield self.host.accept()
+            self.sim.spawn(self._session(chan), name="central.session", daemon=True)
+
+    def _session(self, chan) -> Generator[Any, Any, None]:
+        txn = None
+        while True:
+            try:
+                request = yield from chan.recv()
+            except ChannelClosed:
+                if txn is not None and txn.active:
+                    self.db.abort(txn)
+                return
+            try:
+                if isinstance(request, protocol.ExecuteReq):
+                    if request.sql.lstrip().upper().startswith("CREATE"):
+                        self.db.run_ddl(request.sql)
+                        chan.send(protocol.ExecuteResp(request.seq, ok=True))
+                        continue
+                    if txn is None or not txn.active:
+                        txn = self.db.begin(gid=f"central:g{next(self._gids)}")
+                    result = yield from self.db.execute(
+                        txn, request.sql, request.params
+                    )
+                    chan.send(
+                        protocol.ExecuteResp(
+                            request.seq,
+                            ok=True,
+                            gid=txn.gid,
+                            rows=result.rows,
+                            columns=result.columns,
+                            rowcount=result.rowcount,
+                        )
+                    )
+                elif isinstance(request, protocol.CommitReq):
+                    if txn is not None and txn.active:
+                        yield from self.db.commit(txn)
+                    txn = None
+                    chan.send(protocol.CommitResp(request.seq, protocol.COMMITTED))
+                elif isinstance(request, protocol.RollbackReq):
+                    if txn is not None and txn.active:
+                        self.db.abort(txn)
+                    txn = None
+                    chan.send(protocol.RollbackResp(request.seq))
+                else:
+                    raise ReproError(f"unsupported request {request!r}")
+            except Exception as err:  # noqa: BLE001 - marshal to client
+                if txn is not None and txn.active:
+                    self.db.abort(txn)
+                txn = None
+                info = protocol.marshal_error(err)
+                if isinstance(request, protocol.ExecuteReq):
+                    chan.send(protocol.ExecuteResp(request.seq, ok=False, error=info))
+                else:
+                    chan.send(
+                        protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+                    )
+
+
+# ---------------------------------------------------------------------------
+# The protocol of [20]: table-level locks, whole-transaction requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A pre-registered transaction program.
+
+    ``tables`` must list every table the program may touch — the [20]
+    protocol's defining requirement.  ``statements`` maps the call
+    parameters to the SQL statements to run.  ``lock_tables`` (optional)
+    narrows the lock set per call from the parameters; the analysis in
+    [20] determines the accessed tables of each invocation, so a program
+    over 10 tables that touches 3 per call only locks those 3.
+    """
+
+    name: str
+    tables: tuple[str, ...]
+    statements: Callable[[tuple], list[tuple[str, tuple]]]
+    readonly: bool = False
+    lock_tables: Optional[Callable[[tuple], tuple]] = None
+
+    def locks_for(self, params: tuple) -> tuple[str, ...]:
+        if self.lock_tables is not None:
+            return tuple(self.lock_tables(params))
+        return self.tables
+
+
+class _LockRequest:
+    __slots__ = ("rid", "tables", "granted", "_missing")
+
+    def __init__(self, rid: str, tables: tuple[str, ...]):
+        self.rid = rid
+        self.tables = tables
+        self.granted = Event()
+        self._missing = len(tables)
+
+
+class OrderedTableLocks:
+    """Table locks granted strictly in enqueue (delivery) order.
+
+    A request enters the FIFO queue of every table it needs atomically;
+    it is granted when it heads all of them.  Ordered atomic enqueue
+    makes the scheme deadlock-free across replicas.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[str, deque[_LockRequest]] = {}
+
+    def enqueue(self, request: _LockRequest) -> None:
+        heads = 0
+        for table in request.tables:
+            queue = self._queues.setdefault(table, deque())
+            queue.append(request)
+            if queue[0] is request:
+                heads += 1
+        request._missing = len(request.tables) - heads
+        if request._missing == 0:
+            request.granted.set(None)
+
+    def release(self, request: _LockRequest) -> None:
+        for table in request.tables:
+            queue = self._queues[table]
+            assert queue[0] is request, "release out of grant order"
+            queue.popleft()
+            if queue:
+                head = queue[0]
+                head._missing -= 1
+                if head._missing == 0:
+                    head.granted.set(None)
+
+    def waiting(self) -> int:
+        return sum(max(0, len(q) - 1) for q in self._queues.values())
+
+
+class _TableLockReplica:
+    """One middleware/DB replica pair of the [20] system."""
+
+    def __init__(self, system: "TableLockSystem", index: int):
+        self.system = system
+        self.sim = system.sim
+        self.index = index
+        self.name = f"TL{index}"
+        cpu = Resource(self.sim, f"{self.name}.cpu")
+        disk = Resource(self.sim, f"{self.name}.disk") if system.with_disk else None
+        cost_model = system.cost_model(index) if system.cost_model else None
+        self.db = Database(
+            self.sim,
+            name=self.name,
+            cost_model=cost_model,
+            cpu=cpu if cost_model else None,
+            disk=disk,
+        )
+        self.locks = OrderedTableLocks()
+        self.member = system.bus.join(self.name)
+        self.host = system.network.register(self.name)
+        system.discovery.register(self.host.address)
+        #: rid -> waiter for the client response at the origin replica
+        self._pending: dict[str, OneShot] = {}
+        #: rid -> writeset waiter at remote replicas
+        self._ws_events: dict[str, Event] = {}
+        self._requests: dict[str, _LockRequest] = {}
+        self.sim.spawn(self._deliver_loop(), name=f"{self.name}.deliver", daemon=True)
+        self.sim.spawn(self._accept_loop(), name=f"{self.name}.accept", daemon=True)
+
+    # -- GCS side -----------------------------------------------------------------
+
+    def _deliver_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            item = yield self.member.deliver()
+            if isinstance(item, ViewChange):
+                continue
+            assert isinstance(item, Message)
+            kind = item.payload[0]
+            if kind == "req":
+                _k, rid, proc_name, params, origin = item.payload
+                proc = self.system.procedures[proc_name]
+                request = _LockRequest(rid, proc.locks_for(params))
+                self._requests[rid] = request
+                self.locks.enqueue(request)  # in delivery order: deadlock-free
+                self.sim.spawn(
+                    self._run_transaction(rid, proc, params, origin),
+                    name=f"{self.name}.run({rid})",
+                    daemon=True,
+                )
+            elif kind == "ws":
+                _k, rid, writeset = item.payload
+                event = self._ws_events.setdefault(rid, Event())
+                event.set(writeset)
+
+    def _run_transaction(self, rid, proc, params, origin) -> Generator[Any, Any, None]:
+        request = self._requests.pop(rid)
+        yield request.granted.wait()
+        try:
+            if origin == self.name:
+                rows = yield from self._execute_and_broadcast(rid, proc, params)
+                waiter = self._pending.pop(rid, None)
+                if waiter is not None:
+                    waiter.resolve(rows)
+            else:
+                event = self._ws_events.setdefault(rid, Event())
+                writeset = yield event.wait()
+                self._ws_events.pop(rid, None)
+                if writeset:  # empty = read-only or aborted upstream
+                    txn = self.db.begin(gid=rid, remote=True)
+                    yield from self.db.apply_writeset(txn, writeset)
+                    yield from self.db.commit(txn)
+        finally:
+            self.locks.release(request)
+
+    def _execute_and_broadcast(self, rid, proc, params) -> Generator[Any, Any, Any]:
+        txn = self.db.begin(gid=rid)
+        rows = None
+        for sql, sql_params in proc.statements(params):
+            result = yield from self.db.execute(txn, sql, sql_params)
+            if result.rows is not None:
+                rows = result.rows
+        writeset = self.db.get_writeset(txn)
+        yield from self.db.commit(txn)
+        # FIFO writeset propagation ([20] uses FIFO; total order is a
+        # superset of that guarantee)
+        self.member.multicast(("ws", rid, writeset))
+        return rows
+
+    # -- client side ----------------------------------------------------------------
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            chan = yield self.host.accept()
+            self.sim.spawn(
+                self._session(chan), name=f"{self.name}.session", daemon=True
+            )
+
+    def _session(self, chan) -> Generator[Any, Any, None]:
+        while True:
+            try:
+                request = yield from chan.recv()
+            except ChannelClosed:
+                return
+            assert isinstance(request, protocol.ProcRequest)
+            try:
+                rows = yield from self._handle_proc(request)
+                chan.send(protocol.ProcResp(request.seq, protocol.COMMITTED, rows))
+            except Exception as err:  # noqa: BLE001
+                chan.send(
+                    protocol.ProcResp(
+                        request.seq,
+                        protocol.ABORTED,
+                        error=protocol.marshal_error(err),
+                    )
+                )
+
+    def _handle_proc(self, request: protocol.ProcRequest) -> Generator[Any, Any, Any]:
+        proc = self.system.procedures[request.proc]
+        rid = f"{self.name}:r{next(self.system._rids)}"
+        if proc.readonly:
+            # queries run locally: enqueue local table locks only
+            lock_request = _LockRequest(rid, proc.locks_for(request.params))
+            self.locks.enqueue(lock_request)
+            yield lock_request.granted.wait()
+            try:
+                txn = self.db.begin(gid=rid)
+                rows = None
+                for sql, sql_params in proc.statements(request.params):
+                    result = yield from self.db.execute(txn, sql, sql_params)
+                    if result.rows is not None:
+                        rows = result.rows
+                yield from self.db.commit(txn)
+                return rows
+            finally:
+                self.locks.release(lock_request)
+        waiter = OneShot()
+        self._pending[rid] = waiter
+        self.member.multicast(("req", rid, request.proc, request.params, self.name))
+        rows = yield waiter.wait()
+        return rows
+
+
+class TableLockSystem:
+    """The full [20]-style deployment: n replicas over the GCS."""
+
+    def __init__(
+        self,
+        procedures: dict[str, Procedure],
+        n_replicas: int = 3,
+        seed: int = 0,
+        gcs: Optional[GcsConfig] = None,
+        cost_model: Optional[Callable[[int], CostModel]] = None,
+        with_disk: bool = False,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, latency=LatencyModel(rng=self.sim.rng("net")))
+        self.bus = GroupBus(self.sim, config=gcs or GcsConfig())
+        self.discovery = DiscoveryService(self.sim)
+        self.procedures = procedures
+        self.cost_model = cost_model
+        self.with_disk = with_disk
+        self._rids = itertools.count(1)
+        self._client_count = 0
+        self.replicas = [_TableLockReplica(self, i) for i in range(n_replicas)]
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        for sql in ddl_statements:
+            for replica in self.replicas:
+                replica.db.run_ddl(sql)
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        for replica in self.replicas:
+            replica.db.bulk_load(table, rows)
+
+    def new_client_host(self, name: Optional[str] = None):
+        self._client_count += 1
+        return self.network.register(name or f"client-{self._client_count}")
+
+
+class ProcClient:
+    """Minimal client for the [20] system: one procedure call per txn."""
+
+    _seqs = itertools.count(1)
+
+    def __init__(self, system: TableLockSystem, host):
+        self.system = system
+        self.host = host
+        self._channel = None
+
+    def connect(self, address: Optional[str] = None) -> Generator[Any, Any, None]:
+        addresses = yield from self.system.discovery.discover()
+        target = address or addresses[
+            self.system.sim.rng("proc-client").randrange(len(addresses))
+        ]
+        self._channel = self.system.network.connect(self.host, target)
+
+    def call(
+        self, proc: str, params: tuple = (), readonly: bool = False
+    ) -> Generator[Any, Any, Any]:
+        request = protocol.ProcRequest(next(self._seqs), proc, params, readonly)
+        self._channel.client_end.send(request)
+        response = yield from self._channel.client_end.recv()
+        if response.outcome != protocol.COMMITTED:
+            raise protocol.unmarshal_error(response.error)
+        return response.rows

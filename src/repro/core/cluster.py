@@ -1,0 +1,282 @@
+"""Full-system assembly: replicas + middleware + GCS + network + clients.
+
+:class:`SIRepCluster` wires everything Fig. 3(c) shows: one middleware
+replica per database replica, a group communication bus between them, a
+discovery service, and a LAN for JDBC clients.  It also provides crash
+injection and the recorded-schedule 1-copy-SI audit used by tests and the
+consistency example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.core.replica import ReplicaNode
+from repro.core.srca_rep import MiddlewareReplica
+from repro.gcs import DiscoveryService, GcsConfig, GroupBus
+from repro.net import LatencyModel, Network
+from repro.si import check_one_copy_si, recorded_schedules
+from repro.si.onecopy import OneCopyReport
+from repro.sim import Resource, Simulator
+from repro.storage import Database
+from repro.storage.engine import CostModel
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of one simulated SI-Rep deployment."""
+
+    n_replicas: int = 3
+    #: True = SRCA-Rep (1-copy-SI); False = SRCA-Opt (adjustments 1+2)
+    hole_sync: bool = True
+    seed: int = 0
+    gcs: GcsConfig = field(default_factory=GcsConfig)
+    net_base_latency: float = 0.0002
+    net_jitter: float = 0.0001
+    #: replica index -> CostModel (None = zero-cost, pure correctness)
+    cost_model: Optional[Callable[[int], CostModel]] = None
+    #: create a disk resource per replica (I/O-bound workloads, Fig. 6)
+    with_disk: bool = False
+    cpu_servers: int = 1
+    #: attach a TraceLog recording per-transaction commit milestones
+    trace: bool = False
+
+
+class SIRepCluster:
+    """A running SI-Rep deployment inside one simulator."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.network = Network(
+            self.sim,
+            latency=LatencyModel(
+                base=cfg.net_base_latency,
+                jitter=cfg.net_jitter,
+                rng=self.sim.rng("net"),
+            ),
+        )
+        self.bus = GroupBus(self.sim, config=cfg.gcs)
+        self.discovery = DiscoveryService(self.sim)
+        from repro.core.tracing import TraceLog
+
+        self.trace = TraceLog() if cfg.trace else None
+        self.nodes: list[ReplicaNode] = []
+        self.replicas: list[MiddlewareReplica] = []
+        self._client_count = 0
+        self._schema_ddl: list[str] = []
+        self._incarnations: dict[str, int] = {}
+        self._recovered: set[str] = set()
+        for index in range(cfg.n_replicas):
+            self._add_replica(index)
+
+    def _add_replica(self, index: int) -> None:
+        cfg = self.config
+        name = f"R{index}"
+        cpu = Resource(self.sim, f"{name}.cpu", servers=cfg.cpu_servers)
+        disk = Resource(self.sim, f"{name}.disk") if cfg.with_disk else None
+        cost_model = cfg.cost_model(index) if cfg.cost_model else None
+        db = Database(
+            self.sim,
+            name=name,
+            conflict_detection="locking",
+            cost_model=cost_model,
+            cpu=cpu if cost_model else None,
+            disk=disk,
+        )
+        node = ReplicaNode(name=name, db=db, cpu=cpu, disk=disk)
+        member = self.bus.join(name)
+        # The network address IS the replica name, so view changes and
+        # driver-side crash observations speak about the same identifier.
+        host = self.network.register(name)
+        replica = MiddlewareReplica(
+            self.sim,
+            name=name,
+            node=node,
+            member=member,
+            host=host,
+            hole_sync=cfg.hole_sync,
+            discovery=self.discovery,
+        )
+        replica.trace = self.trace
+        self.nodes.append(node)
+        self.replicas.append(replica)
+
+    # ------------------------------------------------------------ data loading
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        """Apply CREATE statements identically on every replica."""
+        for sql in ddl_statements:
+            self._schema_ddl.append(sql)
+            for node, replica in zip(self.nodes, self.replicas):
+                node.db.run_ddl(sql)
+                replica.ddl_log.append(sql)
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        """Seed identical initial data on every replica (csn-0 versions)."""
+        for node in self.nodes:
+            node.db.bulk_load(table, rows)
+
+    # ----------------------------------------------------------------- clients
+
+    def new_client_host(self, name: Optional[str] = None):
+        self._client_count += 1
+        label = name or f"client-{self._client_count}"
+        return self.network.register(label)
+
+    # ------------------------------------------------------------------ faults
+
+    def crash(self, index: int) -> None:
+        """Take down a middleware/DB replica pair (§5.4).
+
+        Kills the middleware processes, disconnects its clients, removes
+        it from the group (survivors learn via view change after the
+        failure-detection delay), and stops discovery responses.
+        """
+        replica = self.replicas[index]
+        if not replica.alive:
+            return
+        self.discovery.unregister(replica.host.address)
+        replica.crash()
+        self.bus.crash(replica.name)
+        self.network.crash(replica.host.address)
+
+    def alive_replicas(self) -> list[MiddlewareReplica]:
+        return [r for r in self.replicas if r.alive]
+
+    def recover_replica(self, index: int, donor_index: Optional[int] = None) -> MiddlewareReplica:
+        """Bring a crashed replica back online (§5.4 recovery, extended
+        to the *online* scheme of §8: transaction processing continues).
+
+        The new incarnation joins the group, multicasts a sync request,
+        and a donor ships schema, committed rows, certification state,
+        pending queue entries, and the in-doubt outcome map captured
+        atomically at the sync message's total-order position.  The
+        recovering replica then resumes normal delivery-order processing
+        and re-registers for discovery.
+        """
+        old = self.replicas[index]
+        if old.alive:
+            raise ValueError(f"replica {index} is still alive")
+        if donor_index is None:
+            donors = [i for i, r in enumerate(self.replicas) if r.alive]
+            if not donors:
+                raise ValueError("no alive donor replica")
+            donor_index = donors[0]
+        donor = self.replicas[donor_index]
+        if not donor.alive:
+            raise ValueError(f"donor replica {donor_index} is not alive")
+        cfg = self.config
+        name = old.name
+        incarnation = self._incarnations.get(name, 0) + 1
+        self._incarnations[name] = incarnation
+        cpu = Resource(self.sim, f"{name}.cpu#{incarnation}", servers=cfg.cpu_servers)
+        disk = (
+            Resource(self.sim, f"{name}.disk#{incarnation}") if cfg.with_disk else None
+        )
+        cost_model = cfg.cost_model(index) if cfg.cost_model else None
+        db = Database(
+            self.sim,
+            name=name,
+            conflict_detection="locking",
+            cost_model=cost_model,
+            cpu=cpu if cost_model else None,
+            disk=disk,
+        )
+        node = ReplicaNode(name=name, db=db, cpu=cpu, disk=disk)
+        member = self.bus.join(name)
+        host = self.network.register(name)
+        replica = MiddlewareReplica(
+            self.sim,
+            name=name,
+            node=node,
+            member=member,
+            host=host,
+            hole_sync=cfg.hole_sync,
+            discovery=self.discovery,
+            incarnation=incarnation,
+            recover_from=donor.name,
+        )
+        self.nodes[index] = node
+        self.replicas[index] = replica
+        self._recovered.add(name)
+        return replica
+
+    # ------------------------------------------------------------------ audits
+
+    def one_copy_report(self) -> OneCopyReport:
+        """Run the Definition-3 checker over the recorded histories.
+
+        Only replicas that are still alive are audited: a crashed replica
+        legitimately misses the suffix of committed transactions.
+        Recovered replicas are also excluded — their pre-recovery history
+        arrived via state transfer, not as begin/commit events — so the
+        audit covers the continuously-alive replicas.
+        """
+        databases = {
+            r.name: r.node.db
+            for r in self.replicas
+            if r.alive and r.name not in self._recovered
+        }
+        schedules, locality = recorded_schedules(databases)
+        # Transactions whose local replica crashed before commit do not
+        # appear anywhere; transactions recorded at survivors keep their
+        # locality mapping even if the home replica died mid-run.
+        for name, schedule in schedules.items():
+            for gid in schedule.transactions:
+                locality.setdefault(gid, self._home_of(gid))
+        return check_one_copy_si(schedules, locality)
+
+    def _home_of(self, gid: str) -> str:
+        # gid format: "<replica>[.<incarnation>]:g<n>"
+        return gid.split(":", 1)[0].split(".", 1)[0]
+
+    # ------------------------------------------------------------------- stats
+
+    def total_commits(self) -> int:
+        return sum(r.stats_commits + r.stats_readonly_commits for r in self.replicas)
+
+    def total_certification_aborts(self) -> int:
+        return sum(r.stats_aborts for r in self.replicas)
+
+    def hole_wait_fraction(self) -> float:
+        attempts = sum(r.manager.holes.start_attempts for r in self.replicas)
+        waits = sum(r.manager.holes.start_waits for r in self.replicas)
+        return waits / attempts if attempts else 0.0
+
+    def metrics(self) -> dict:
+        """Operational snapshot across replicas (monitoring surface)."""
+        per_replica = {}
+        for replica in self.replicas:
+            manager = replica.manager
+            per_replica[replica.name] = {
+                "alive": replica.alive,
+                "recovered": replica.name in self._recovered,
+                "active_sessions": replica.active_sessions,
+                "update_commits": replica.stats_commits,
+                "readonly_commits": replica.stats_readonly_commits,
+                "certification_aborts": replica.stats_aborts,
+                "tocommit_queue_len": len(manager.queue),
+                "remote_apply_retries": manager.remote_apply_retries,
+                "hole_wait_fraction": manager.holes.hole_wait_fraction,
+                "db_commits": replica.node.db.commits,
+                "db_aborts": replica.node.db.aborts,
+                "db_versions": replica.node.db.version_count(),
+                "cpu_utilization": (
+                    replica.node.cpu.utilization() if replica.node.cpu else 0.0
+                ),
+            }
+        return {
+            "now": self.sim.now,
+            "commits": self.total_commits(),
+            "certification_aborts": self.total_certification_aborts(),
+            "gcs_deliveries": self.bus.delivered_count,
+            "replicas": per_replica,
+        }
+
+    def stop(self) -> None:
+        for replica in self.replicas:
+            if replica.alive:
+                replica.crash()

@@ -1,0 +1,77 @@
+"""Hole tracking: adjustment 3's start/commit synchronization (§4.3.3).
+
+Validated transactions must all commit at every replica, in principle in
+validation (tid) order.  Adjustment 2 lets non-conflicting transactions
+commit out of that order; the commit order then has a **hole**: some
+committed tid has a smaller uncommitted tid behind it.  Local transactions
+observing such an order could witness the two commit orders' difference,
+which is the §4.3.2 anomaly — so under adjustment 3:
+
+* a local transaction may only *start* while the commit order has no
+  holes, and
+* a commit is allowed only if nobody is waiting to start, or the
+  committing transaction is local, or its commit creates no new hole.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class HoleTracker:
+    """Commit-order holes of one replica, with the §6.3 statistics."""
+
+    def __init__(self) -> None:
+        self._pending: list[int] = []  # min-heap of registered, uncommitted tids
+        self._committed: set[int] = set()
+        self._max_committed = 0
+        #: §6.3: how often a transaction start found holes and had to wait
+        self.start_attempts = 0
+        self.start_waits = 0
+        self.waiting_to_start = 0
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def register(self, tid: int) -> None:
+        """A validated transaction that will commit at this replica."""
+        heapq.heappush(self._pending, tid)
+
+    def mark_committed(self, tid: int) -> None:
+        self._committed.add(tid)
+        if tid > self._max_committed:
+            self._max_committed = tid
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._pending and self._pending[0] in self._committed:
+            self._committed.discard(heapq.heappop(self._pending))
+
+    # -- predicates ------------------------------------------------------------
+
+    def min_pending(self) -> int | None:
+        self._drain()
+        return self._pending[0] if self._pending else None
+
+    def has_holes(self) -> bool:
+        """True iff some committed tid exceeds an uncommitted one."""
+        lowest = self.min_pending()
+        return lowest is not None and lowest < self._max_committed
+
+    def creates_new_hole(self, tid: int) -> bool:
+        """Would committing ``tid`` now leave a smaller tid uncommitted?"""
+        lowest = self.min_pending()
+        return lowest is not None and tid > lowest
+
+    # -- statistics -----------------------------------------------------------
+
+    def note_start_attempt(self, had_to_wait: bool) -> None:
+        self.start_attempts += 1
+        if had_to_wait:
+            self.start_waits += 1
+
+    @property
+    def hole_wait_fraction(self) -> float:
+        """Fraction of transaction starts that found holes (§6.3: 4-8%)."""
+        if self.start_attempts == 0:
+            return 0.0
+        return self.start_waits / self.start_attempts

@@ -1,0 +1,225 @@
+"""A Postgres-R(SI)-style comparator: replication inside the kernel [34].
+
+§6.3: "We tested the system against Postgres-R [34] which provides
+kernel-based eager replication.  The results were very similar to
+SRCA-Rep since their main difference lies in the validation process while
+the principal transaction execution is similar."
+
+This module implements that comparator.  Like SRCA-Rep it executes a
+transaction at one replica, multicasts the writeset with total order, and
+certifies deterministically in delivery order.  The *kernel* differences:
+
+* there is no middleware layer doing a pre-multicast local validation —
+  the commit path of the database itself ships the writeset;
+* when a remote writeset meets a row lock held by a local, not-yet-
+  certified transaction, the kernel **aborts the local holder
+  immediately** instead of waiting for it to reach its own validation
+  (the kernel can kill its own backends; a middleware cannot, §4.3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Iterable, Optional
+
+from repro.core import protocol
+from repro.core.replica import ReplicaManager, ReplicaNode
+from repro.core.tocommit import Entry
+from repro.core.validation import Certifier, WsRecord
+from repro.gcs import DiscoveryService, GcsConfig, GroupBus, Message, ViewChange
+from repro.net import LatencyModel, Network
+from repro.net.network import ChannelClosed
+from repro.sim import Resource, Simulator
+from repro.sim.sync import OneShot
+from repro.storage import Database
+from repro.storage.engine import CostModel
+
+
+class _KernelNode:
+    """One replicated database process (DB + replication manager)."""
+
+    def __init__(self, system: "KernelReplicatedSystem", index: int):
+        self.system = system
+        self.sim = system.sim
+        self.name = f"KR{index}"
+        cpu = Resource(self.sim, f"{self.name}.cpu")
+        model: Optional[CostModel] = (
+            system.cost_model(index) if system.cost_model else None
+        )
+        self.db = Database(
+            self.sim,
+            name=self.name,
+            cost_model=model,
+            cpu=cpu if model else None,
+        )
+        self.node = ReplicaNode(self.name, self.db, cpu=cpu)
+        self.manager = ReplicaManager(self.sim, self.node, hole_sync=True)
+        self.certifier = Certifier()
+        self.member = system.bus.join(self.name)
+        self.host = system.network.register(self.name)
+        system.discovery.register(self.host.address)
+        self._pending: dict[str, tuple[Any, OneShot]] = {}
+        self._gids = itertools.count(1)
+        self.sim.spawn(self._deliver_loop(), name=f"{self.name}.deliver", daemon=True)
+        self.sim.spawn(self._accept_loop(), name=f"{self.name}.accept", daemon=True)
+        self.local_aborts_by_remote = 0
+
+    # ----------------------------------------------------------- replication
+
+    def _deliver_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            item = yield self.member.deliver()
+            if isinstance(item, ViewChange):
+                continue
+            assert isinstance(item, Message)
+            _kind, gid, writeset, cert, sender = item.payload
+            record = WsRecord(gid, writeset, cert=cert, sender=sender)
+            ok = self.certifier.validate(record)
+            local = self._pending.pop(gid, None)
+            if not ok:
+                if local is not None:
+                    local[1].resolve((protocol.ABORTED, None))
+                continue
+            # kernel privilege: kill local uncertified writers in the way
+            self._abort_conflicting_local_holders(record)
+            local_txn = local[0] if local is not None else None
+            entry = Entry(record, local_txn=local_txn)
+            self.manager.enqueue(entry)
+            if local is not None:
+                local[1].resolve((protocol.COMMITTED, entry))
+
+    def _abort_conflicting_local_holders(self, record: WsRecord) -> None:
+        for key in record.writeset.keys:
+            holder = self.db.locks.holder(key)
+            if holder is None or not getattr(holder, "active", False):
+                continue
+            if holder.gid == record.gid:
+                continue  # the certified transaction's own locks
+            if holder.remote:
+                continue  # another certified writeset: ordered via queue
+            if holder.gid in self._pending:
+                continue  # already multicast: its own validation decides
+            self.db.abort(holder)
+            self.local_aborts_by_remote += 1
+
+    # ------------------------------------------------------------ client side
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            chan = yield self.host.accept()
+            self.sim.spawn(
+                self._session(chan), name=f"{self.name}.session", daemon=True
+            )
+
+    def _session(self, chan) -> Generator[Any, Any, None]:
+        txn = None
+        while True:
+            try:
+                request = yield from chan.recv()
+            except ChannelClosed:
+                if txn is not None and txn.active:
+                    self.db.abort(txn)
+                return
+            try:
+                if isinstance(request, protocol.ExecuteReq):
+                    if txn is not None and not txn.active:
+                        # killed by a conflicting replicated writeset
+                        # between client statements: surface it once
+                        txn = None
+                        from repro.errors import TransactionAborted
+
+                        raise TransactionAborted(
+                            "transaction aborted by a conflicting "
+                            "replicated writeset"
+                        )
+                    if txn is None:
+                        yield from self.manager.wait_local_start()
+                        txn = self.db.begin(gid=f"{self.name}:g{next(self._gids)}")
+                    result = yield from self.db.execute(
+                        txn, request.sql, request.params
+                    )
+                    chan.send(
+                        protocol.ExecuteResp(
+                            request.seq, ok=True, gid=txn.gid,
+                            rows=result.rows, columns=result.columns,
+                            rowcount=result.rowcount,
+                        )
+                    )
+                elif isinstance(request, protocol.CommitReq):
+                    response = yield from self._commit(request, txn)
+                    txn = None
+                    chan.send(response)
+                elif isinstance(request, protocol.RollbackReq):
+                    if txn is not None and txn.active:
+                        self.db.abort(txn)
+                    txn = None
+                    chan.send(protocol.RollbackResp(request.seq))
+            except Exception as err:  # noqa: BLE001
+                if txn is not None and txn.active:
+                    self.db.abort(txn)
+                txn = None
+                info = protocol.marshal_error(err)
+                if isinstance(request, protocol.ExecuteReq):
+                    chan.send(protocol.ExecuteResp(request.seq, ok=False, error=info))
+                else:
+                    chan.send(
+                        protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+                    )
+
+    def _commit(self, request, txn) -> Generator[Any, Any, Any]:
+        if txn is None or not txn.active:
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        writeset = self.db.get_writeset(txn)
+        if not writeset:
+            yield from self.db.commit(txn)
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        # no middleware-level local validation: the kernel multicasts
+        # straight away and relies on delivery-order certification
+        cert = self.certifier.last_validated_tid
+        waiter = OneShot()
+        self._pending[txn.gid] = (txn, waiter)
+        self.member.multicast(("ws", txn.gid, writeset, cert, self.name))
+        outcome, entry = yield waiter.wait()
+        if outcome == protocol.ABORTED or not txn.active:
+            # certification failed — or a remote writeset killed us while
+            # our own was in flight
+            if txn.active:
+                self.db.abort(txn)
+            return protocol.CommitResp(
+                request.seq, protocol.ABORTED,
+                error=("CertificationAborted", "kernel certification failed"),
+            )
+        yield entry.done.wait()
+        return protocol.CommitResp(request.seq, protocol.COMMITTED, replicated=True)
+
+
+class KernelReplicatedSystem:
+    """A Postgres-R(SI)-style cluster, driver-compatible."""
+
+    def __init__(
+        self,
+        n_replicas: int = 5,
+        seed: int = 0,
+        gcs: Optional[GcsConfig] = None,
+        cost_model=None,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, latency=LatencyModel(rng=self.sim.rng("net")))
+        self.bus = GroupBus(self.sim, config=gcs or GcsConfig())
+        self.discovery = DiscoveryService(self.sim)
+        self.cost_model = cost_model
+        self._client_count = 0
+        self.nodes = [_KernelNode(self, i) for i in range(n_replicas)]
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        for sql in ddl_statements:
+            for node in self.nodes:
+                node.db.run_ddl(sql)
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        for node in self.nodes:
+            node.db.bulk_load(table, rows)
+
+    def new_client_host(self, name: Optional[str] = None):
+        self._client_count += 1
+        return self.network.register(name or f"kr-client-{self._client_count}")

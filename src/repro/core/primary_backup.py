@@ -1,0 +1,317 @@
+"""Fig. 3(b): the centralized-replicated middleware (primary + backup).
+
+The paper sketches this architecture as the middle option between a
+single centralized middleware (a single point of failure) and the fully
+decentralized SI-Rep, and notes why its failover is delicate: "At the
+time the primary crashes, a given transaction Ti might be committed at
+some DB replicas, active at others, and not even started at some.  The
+backup has to make sure that such transactions are eventually committed
+at all replicas."
+
+Here the primary runs the SRCA certification flow over *all* database
+replicas (which live on their own hosts and survive a middleware crash);
+certification metadata travels to the backup through the same
+uniform-reliable total-order channel as SRCA-Rep's writesets, so:
+
+* a writeset that any database may have committed was sequenced, hence
+  the backup knows it (uniform delivery);
+* on takeover the backup aborts the orphaned active transactions at each
+  database ("databases abort the active transaction on the connection"),
+  re-applies every certified writeset a database is missing
+  (idempotently, keyed by transaction identifier), and only then starts
+  serving clients.
+
+The unmodified SI-Rep driver talks to it: discovery, failover, and the
+in-doubt inquiry protocol are the same wire protocol.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Iterable, Optional
+
+from repro.core import protocol
+from repro.core.replica import ReplicaManager, ReplicaNode
+from repro.core.tocommit import Entry
+from repro.core.validation import Certifier, WsRecord
+from repro.errors import CertificationAborted
+from repro.gcs import DiscoveryService, GcsConfig, GroupBus, Message, ViewChange
+from repro.net import LatencyModel, Network
+from repro.net.network import ChannelClosed
+from repro.sim import Gate, Resource, Simulator, wait_until
+from repro.sim.sync import OneShot
+from repro.storage import Database
+from repro.storage.engine import CostModel
+
+
+class _Middleware:
+    """One middleware process (primary or backup) of Fig. 3(b)."""
+
+    def __init__(self, system: "PrimaryBackupSystem", name: str, primary: bool):
+        self.system = system
+        self.sim = system.sim
+        self.name = name
+        self.is_primary = primary
+        self.active = primary  # the backup is passive until takeover
+        self.alive = True
+        self.certifier = Certifier()
+        #: per-database commit machinery; the backup builds its own
+        #: managers at takeover (the primary's die with it)
+        self.managers: list[ReplicaManager] = (
+            [ReplicaManager(self.sim, node) for node in system.nodes]
+            if primary
+            else []
+        )
+        #: every certified record in tid order (the backup's redo log).
+        #: Unbounded by design here: a production deployment would prune
+        #: entries once the primary acknowledges them fully committed at
+        #: every database (a watermark the passive backup lacks in this
+        #: minimal protocol).
+        self.certified: list[WsRecord] = []
+        self.outcomes: dict[str, str] = {}
+        self._local_pending: dict[str, tuple[Any, OneShot]] = {}
+        self._gids = itertools.count(1)
+        self._next_db = 0
+        self.crashed_seen: set[str] = set()
+        self.view_gate = Gate(name=f"{name}.view-gate")
+        self.member = system.bus.join(name)
+        self.host = system.network.register(name)
+        self._processes = [
+            self.sim.spawn(self._deliver_loop(), name=f"{name}.deliver", daemon=True),
+            self.sim.spawn(self._accept_loop(), name=f"{name}.accept", daemon=True),
+        ]
+        if primary:
+            system.discovery.register(self.host.address)
+
+    # ------------------------------------------------------------- GCS side
+
+    def _deliver_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            item = yield self.member.deliver()
+            if isinstance(item, ViewChange):
+                self.crashed_seen.update(item.crashed)
+                self.view_gate.notify_all()
+                if (
+                    not self.is_primary
+                    and not self.active
+                    and self.system.primary_name in item.crashed
+                ):
+                    yield from self._take_over()
+                continue
+            assert isinstance(item, Message)
+            if item.payload[0] == "ws":
+                self._on_writeset(item.payload)
+
+    def _on_writeset(self, payload: tuple) -> None:
+        _kind, gid, writeset, cert, sender = payload
+        record = WsRecord(gid, writeset, cert=cert, sender=sender)
+        ok = self.certifier.validate(record)
+        self.outcomes[gid] = protocol.COMMITTED if ok else protocol.ABORTED
+        self.view_gate.notify_all()
+        if ok:
+            self.certified.append(record)
+        local = self._local_pending.pop(gid, None)
+        if not self.active:
+            return  # the backup only mirrors metadata
+        if not ok:
+            if local is not None:
+                local[1].resolve((protocol.ABORTED, None))
+            return
+        local_entry: Optional[Entry] = None
+        local_txn = local[0] if local is not None else None
+        for index, manager in enumerate(self.managers):
+            is_home = local_txn is not None and local_txn.db is manager.db
+            entry = Entry(record, local_txn=local_txn if is_home else None)
+            if is_home:
+                local_entry = entry
+            manager.enqueue(entry)
+        if local is not None:
+            local[1].resolve((protocol.COMMITTED, local_entry))
+
+    # ------------------------------------------------------------ takeover
+
+    def _take_over(self) -> Generator[Any, Any, None]:
+        """Resolve the primary's in-flight state, then serve clients."""
+        self.active = True
+        self.managers = [ReplicaManager(self.sim, node) for node in self.system.nodes]
+        for node in self.system.nodes:
+            # middleware connections broke: databases abort active txns
+            node.db.abort_all_active()
+        for record in self.certified:
+            for manager in self.managers:
+                if manager.db.has_committed(record.gid):
+                    continue
+                txn = manager.db.begin(gid=record.gid, remote=True)
+                yield from manager.db.apply_writeset(txn, record.writeset)
+                yield from manager.db.commit(txn)
+        self.system.discovery.register(self.host.address)
+        self.system.active_name = self.name
+
+    # ---------------------------------------------------------- client side
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            chan = yield self.host.accept()
+            self._processes.append(
+                self.sim.spawn(
+                    self._session_loop(chan), name=f"{self.name}.session", daemon=True
+                )
+            )
+
+    def _session_loop(self, chan) -> Generator[Any, Any, None]:
+        txn = None
+        while True:
+            try:
+                request = yield from chan.recv()
+            except ChannelClosed:
+                if txn is not None and txn.active:
+                    txn.db.abort(txn)
+                return
+            try:
+                if isinstance(request, protocol.ExecuteReq):
+                    if txn is None or not txn.active:
+                        db = self._pick_db()
+                        txn = db.begin(gid=f"{self.name}:g{next(self._gids)}")
+                    result = yield from txn.db.execute(
+                        txn, request.sql, request.params
+                    )
+                    chan.send(
+                        protocol.ExecuteResp(
+                            request.seq,
+                            ok=True,
+                            gid=txn.gid,
+                            rows=result.rows,
+                            columns=result.columns,
+                            rowcount=result.rowcount,
+                        )
+                    )
+                elif isinstance(request, protocol.CommitReq):
+                    response = yield from self._commit(request, txn)
+                    txn = None
+                    chan.send(response)
+                elif isinstance(request, protocol.RollbackReq):
+                    if txn is not None and txn.active:
+                        txn.db.abort(txn)
+                    txn = None
+                    chan.send(protocol.RollbackResp(request.seq))
+                elif isinstance(request, protocol.InquireReq):
+                    outcome = yield from self._inquire(request.gid, request.crashed)
+                    chan.send(protocol.InquireResp(request.seq, outcome))
+            except Exception as err:  # noqa: BLE001
+                if txn is not None and txn.active:
+                    txn.db.abort(txn)
+                txn = None
+                info = protocol.marshal_error(err)
+                if isinstance(request, protocol.ExecuteReq):
+                    chan.send(protocol.ExecuteResp(request.seq, ok=False, error=info))
+                else:
+                    chan.send(
+                        protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+                    )
+
+    def _pick_db(self) -> Database:
+        db = self.system.nodes[self._next_db % len(self.system.nodes)].db
+        self._next_db += 1
+        return db
+
+    def _manager_of(self, db: Database) -> ReplicaManager:
+        return next(m for m in self.managers if m.db is db)
+
+    def _commit(self, request: protocol.CommitReq, txn) -> Generator[Any, Any, Any]:
+        if txn is None or not txn.active:
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        writeset = txn.db.get_writeset(txn)
+        if not writeset:
+            yield from txn.db.commit(txn)
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        manager = self._manager_of(txn.db)
+        if manager.queue.overlaps(writeset):
+            txn.db.abort(txn)
+            self.outcomes[txn.gid] = protocol.ABORTED
+            return protocol.CommitResp(
+                request.seq, protocol.ABORTED,
+                error=("CertificationAborted", "local validation failed"),
+            )
+        cert = self.certifier.last_validated_tid
+        waiter = OneShot()
+        self._local_pending[txn.gid] = (txn, waiter)
+        self.member.multicast(("ws", txn.gid, writeset, cert, self.name))
+        outcome, entry = yield waiter.wait()
+        if outcome == protocol.ABORTED:
+            txn.db.abort(txn)
+            return protocol.CommitResp(
+                request.seq, protocol.ABORTED,
+                error=("CertificationAborted", "global validation failed"),
+            )
+        yield entry.done.wait()
+        return protocol.CommitResp(request.seq, protocol.COMMITTED, replicated=True)
+
+    def _inquire(self, gid: str, crashed: str) -> Generator[Any, Any, str]:
+        yield from wait_until(
+            self.view_gate,
+            lambda: gid in self.outcomes or crashed in self.crashed_seen,
+        )
+        return self.outcomes.get(gid, protocol.ABORTED)
+
+    # --------------------------------------------------------------- control
+
+    def crash(self) -> None:
+        self.alive = False
+        for manager in self.managers:
+            manager.stop()
+        for process in self._processes:
+            process.kill()
+
+
+class PrimaryBackupSystem:
+    """A Fig. 3(b) deployment: n databases, primary + backup middleware."""
+
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        seed: int = 0,
+        gcs: Optional[GcsConfig] = None,
+        cost_model=None,
+    ):
+        self.sim = Simulator(seed=seed)
+        self.network = Network(self.sim, latency=LatencyModel(rng=self.sim.rng("net")))
+        self.bus = GroupBus(self.sim, config=gcs or GcsConfig())
+        self.discovery = DiscoveryService(self.sim)
+        self.nodes: list[ReplicaNode] = []
+        for index in range(n_replicas):
+            cpu = Resource(self.sim, f"pbdb{index}.cpu")
+            model: Optional[CostModel] = cost_model(index) if cost_model else None
+            db = Database(
+                self.sim,
+                name=f"pbdb{index}",
+                cost_model=model,
+                cpu=cpu if model else None,
+            )
+            self.nodes.append(ReplicaNode(name=f"pbdb{index}", db=db, cpu=cpu))
+        self.primary_name = "mw-primary"
+        self.backup_name = "mw-backup"
+        self.active_name = self.primary_name
+        self.primary = _Middleware(self, self.primary_name, primary=True)
+        self.backup = _Middleware(self, self.backup_name, primary=False)
+        self._client_count = 0
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        for sql in ddl_statements:
+            for node in self.nodes:
+                node.db.run_ddl(sql)
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        for node in self.nodes:
+            node.db.bulk_load(table, rows)
+
+    def new_client_host(self, name: Optional[str] = None):
+        self._client_count += 1
+        return self.network.register(name or f"pb-client-{self._client_count}")
+
+    def crash_primary(self) -> None:
+        """Kill the primary middleware; the databases stay up (their own
+        machines), and the backup takes over after the view change."""
+        self.discovery.unregister(self.primary.host.address)
+        self.primary.crash()
+        self.bus.crash(self.primary_name)
+        self.network.crash(self.primary.host.address)

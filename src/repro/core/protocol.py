@@ -1,0 +1,131 @@
+"""Wire protocol between the SI-Rep JDBC driver and a middleware replica.
+
+One request/response pair per JDBC call — the paper notes SRCA pays one
+client/middleware round trip per *statement* (vs. one per transaction for
+the [20] baseline), which matters in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro import errors
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class ExecuteReq:
+    seq: int
+    sql: str
+    params: tuple = ()
+    #: session consistency after failover: the middleware delays the
+    #: statement until this transaction has committed locally, so the
+    #: client reads its own writes on the new replica (§3's assignment
+    #: rule, applied at reconnection time).
+    after_gid: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ExecuteResp:
+    seq: int
+    ok: bool
+    gid: Optional[str] = None  # transaction identifier (§5.4 failover)
+    rows: Optional[list] = None
+    columns: tuple = ()
+    rowcount: int = 0
+    error: Optional[tuple[str, str]] = None  # (exception class name, message)
+
+
+@dataclass(frozen=True)
+class CommitReq:
+    seq: int
+
+
+@dataclass(frozen=True)
+class CommitResp:
+    seq: int
+    outcome: str  # committed | aborted
+    error: Optional[tuple[str, str]] = None
+    #: True when a writeset was certified and will commit on every
+    #: replica (drives the driver's session-consistency tracking)
+    replicated: bool = False
+
+
+@dataclass(frozen=True)
+class RollbackReq:
+    seq: int
+
+
+@dataclass(frozen=True)
+class RollbackResp:
+    seq: int
+
+
+@dataclass(frozen=True)
+class InquireReq:
+    """In-doubt transaction inquiry after a failover (§5.4 case 3)."""
+
+    seq: int
+    gid: str
+    crashed: str  # address of the replica the driver lost
+
+
+@dataclass(frozen=True)
+class InquireResp:
+    seq: int
+    outcome: str  # committed | aborted
+
+
+@dataclass(frozen=True)
+class ProcRequest:
+    """Whole-transaction request for the [20] baseline: the client ships
+    the procedure name, parameters, and the pre-declared table set."""
+
+    seq: int
+    proc: str
+    params: tuple = ()
+    readonly: bool = False
+
+
+@dataclass(frozen=True)
+class ProcResp:
+    seq: int
+    outcome: str
+    rows: Optional[list] = None
+    error: Optional[tuple[str, str]] = None
+
+
+@dataclass(frozen=True)
+class StateTransfer:
+    """Recovery payload a donor ships to a recovering replica (§5.4 /
+    §8's online-recovery extension): everything needed to resume
+    validation and transaction processing from the sync point."""
+
+    donor: str
+    ddl: tuple[str, ...]
+    rows: dict  # table -> list of committed row dicts
+    certifier: Any  # Certifier clone
+    pending: tuple  # WsRecords still in the donor's to-commit queue
+    outcomes: dict  # gid -> committed/aborted (for in-doubt inquiries)
+
+
+#: exception class registry for (de)marshalling errors across the channel
+_ERROR_CLASSES = {
+    name: getattr(errors, name)
+    for name in dir(errors)
+    if isinstance(getattr(errors, name), type)
+    and issubclass(getattr(errors, name), Exception)
+}
+
+
+def marshal_error(exc: BaseException) -> tuple[str, str]:
+    return (type(exc).__name__, str(exc))
+
+
+def unmarshal_error(info: tuple[str, str]) -> Exception:
+    name, message = info
+    cls = _ERROR_CLASSES.get(name, errors.DatabaseError)
+    return cls(message)

@@ -1,0 +1,167 @@
+"""One database replica plus the middleware machinery that feeds it.
+
+:class:`ReplicaManager` owns the to-commit queue, the hole tracker, and a
+committer process implementing steps II (Fig. 1) / III (Fig. 4) in one of
+two scheduling modes:
+
+* ``strict_serial=True`` — the basic SRCA: only the queue head may be
+  applied/committed, strictly one at a time;
+* ``strict_serial=False`` — adjustment 2: an entry proceeds as soon as no
+  *conflicting* transaction is queued before it, concurrently with
+  others; with ``hole_sync=True`` (adjustment 3) starts and commits are
+  additionally synchronized through the :class:`HoleTracker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core.holes import HoleTracker
+from repro.core.tocommit import Entry, ToCommitQueue
+from repro.errors import DeadlockDetected, SerializationFailure
+from repro.sim import Gate, Simulator, wait_until
+from repro.sim.resources import Resource
+from repro.storage.engine import Database
+
+
+@dataclass
+class ReplicaNode:
+    """A database replica and its hardware service centres."""
+
+    name: str
+    db: Database
+    cpu: Optional[Resource] = None
+    disk: Optional[Resource] = None
+
+
+class ReplicaManager:
+    """Applies and commits validated transactions at one replica."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: ReplicaNode,
+        strict_serial: bool = False,
+        hole_sync: bool = True,
+    ):
+        self.sim = sim
+        self.node = node
+        self.db = node.db
+        self.strict_serial = strict_serial
+        self.hole_sync = hole_sync
+        self.queue = ToCommitQueue()
+        self.holes = HoleTracker()
+        self.gate = Gate(name=f"{node.name}.commit-gate")
+        self._running = 0
+        self._stopped = False
+        self.remote_apply_retries = 0
+        self.committed_entries = 0
+        #: Fig. 1's lastcommitted_tid_k — meaningful under strict_serial,
+        #: where commits happen in tid order.
+        self.last_committed_tid = 0
+        #: optional hook fired after each entry commits at this replica
+        self.on_commit = None
+        self._process = sim.spawn(
+            self._committer(), name=f"{node.name}.committer", daemon=True
+        )
+
+    # -- local transaction starts (adjustment 3, start side) ----------------------
+
+    def wait_local_start(self) -> Generator[Any, Any, None]:
+        """Block a new *local* transaction while the commit order has holes."""
+        if not self.hole_sync:
+            self.holes.note_start_attempt(False)
+            return
+        had_to_wait = self.holes.has_holes()
+        self.holes.note_start_attempt(had_to_wait)
+        if not had_to_wait:
+            return
+        self.holes.waiting_to_start += 1
+        self.gate.notify_all()  # commit policy depends on the waiter count
+        try:
+            yield from wait_until(self.gate, lambda: not self.holes.has_holes())
+        finally:
+            self.holes.waiting_to_start -= 1
+            self.gate.notify_all()
+
+    # -- queue ingestion -------------------------------------------------------------
+
+    def enqueue(self, entry: Entry) -> None:
+        """Add a validated transaction (local or remote) to the queue."""
+        self.queue.append(entry)
+        if self.hole_sync:
+            self.holes.register(entry.tid)
+        self.gate.notify_all()
+
+    # -- committer ------------------------------------------------------------------
+
+    def _ready(self, entry: Entry) -> bool:
+        if entry.started:
+            return False
+        if self.strict_serial:
+            return self.queue.head() is entry and self._running == 0
+        if self.queue.conflicting_predecessor(entry) is not None:
+            return False
+        return self._commit_allowed(entry)
+
+    def _commit_allowed(self, entry: Entry) -> bool:
+        """Adjustment 3, commit side."""
+        if not self.hole_sync:
+            return True
+        if entry.is_local:
+            return True
+        if self.holes.waiting_to_start == 0:
+            return True
+        return not self.holes.creates_new_hole(entry.tid)
+
+    def _committer(self) -> Generator[Any, Any, None]:
+        while not self._stopped:
+            for entry in list(self.queue):
+                if self._ready(entry):
+                    entry.started = True
+                    self._running += 1
+                    self.sim.spawn(
+                        self._run_entry(entry),
+                        name=f"{self.node.name}.apply({entry.gid})",
+                        daemon=True,
+                    )
+                    if self.strict_serial:
+                        break
+            yield self.gate.wait()
+
+    def _run_entry(self, entry: Entry) -> Generator[Any, Any, None]:
+        try:
+            if entry.is_local:
+                yield from self.db.commit(entry.local_txn)
+            else:
+                yield from self._apply_remote(entry)
+        finally:
+            self._running -= 1
+        if self.hole_sync:
+            self.holes.mark_committed(entry.tid)
+        self.queue.remove(entry)
+        self.committed_entries += 1
+        self.last_committed_tid = entry.tid
+        entry.done.set(True)
+        if self.on_commit is not None:
+            self.on_commit(entry)
+        self.gate.notify_all()
+
+    def _apply_remote(self, entry: Entry) -> Generator[Any, Any, None]:
+        """Apply a remote writeset, retrying on DB-level aborts (§4.2)."""
+        while True:
+            txn = self.db.begin(gid=entry.gid, remote=True)
+            try:
+                yield from self.db.apply_writeset(txn, entry.writeset)
+                yield from self.db.commit(txn)
+                return
+            except (SerializationFailure, DeadlockDetected):
+                self.remote_apply_retries += 1
+                # engine already aborted txn; retry with a fresh snapshot
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        self._stopped = True
+        self._process.kill()

@@ -1,0 +1,465 @@
+"""SRCA-Rep — the decentralized middleware replica of Fig. 4 (§5).
+
+One :class:`MiddlewareReplica` runs in front of each database replica.
+Clients connect over the network with the JDBC-like protocol; middleware
+replicas exchange writesets via uniform-reliable total-order multicast and
+certify them independently but identically (validation in delivery order).
+
+``hole_sync=True`` is SRCA-Rep (adjustments 1+2+3, provides 1-copy-SI);
+``hole_sync=False`` is SRCA-Opt (adjustments 1+2 only, §6.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core import protocol
+from repro.core.replica import ReplicaManager, ReplicaNode
+from repro.core.tocommit import Entry
+from repro.core.validation import Certifier, WsRecord
+from repro.errors import CertificationAborted
+from repro.gcs import DiscoveryService, GroupMember, Message, ViewChange
+from repro.net.network import ChannelClosed, Host
+from repro.sim import Gate, Simulator, wait_until
+from repro.sim.sync import OneShot
+
+
+@dataclass
+class _Session:
+    """Server-side state of one client connection."""
+
+    txn: Any = None  # active engine Transaction (or None)
+    gid: Optional[str] = None
+
+
+class MiddlewareReplica:
+    """One SI-Rep middleware replica (Fig. 4's M^k)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node: ReplicaNode,
+        member: GroupMember,
+        host: Host,
+        hole_sync: bool = True,
+        discovery: Optional[DiscoveryService] = None,
+        incarnation: int = 0,
+        recover_from: Optional[str] = None,
+        base_ddl: tuple[str, ...] = (),
+        max_sessions: Optional[int] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.node = node
+        self.db = node.db
+        self.member = member
+        self.host = host
+        self.hole_sync = hole_sync
+        self.incarnation = incarnation
+        self.gid_prefix = name if incarnation == 0 else f"{name}.{incarnation}"
+        self.recover_from = recover_from
+        self.recovered = False
+        #: replicated DDL this replica has applied, for recovery transfer
+        self.ddl_log: list[str] = list(base_ddl)
+        self.certifier = Certifier()
+        self.manager = ReplicaManager(
+            sim, node, strict_serial=False, hole_sync=hole_sync
+        )
+        #: gid -> ("committed"|"aborted") decided at global validation;
+        #: consulted by in-doubt inquiries after a failover (§5.4).
+        #: Bounded: an inquiry always concerns a transaction whose commit
+        #: was in flight at the crash, so only a recent window is needed.
+        self.outcomes: dict[str, str] = {}
+        self.outcomes_cap = 50_000
+        #: gid -> OneShot resolved by the delivery loop for local commits
+        self._local_pending: dict[str, tuple[Any, OneShot]] = {}
+        #: DDL statements the local replica is waiting to see delivered
+        self._ddl_pending: dict[int, OneShot] = {}
+        self._ddl_ids = itertools.count(1)
+        self._gids = itertools.count(1)
+        self.crashed_seen: set[str] = set()
+        self.view_gate = Gate(name=f"{name}.view-gate")
+        self.alive = True
+        #: optional TraceLog for commit-latency breakdowns
+        self.trace = None
+        self.stats_commits = 0
+        self.stats_aborts = 0
+        self.stats_readonly_commits = 0
+        self.discovery = discovery
+        #: load balancing (§8): decline discovery when at capacity
+        self.max_sessions = max_sessions
+        self.active_sessions = 0
+        #: gids committed at the LOCAL database (session consistency)
+        self.committed_gids: set[str] = set()
+        self.commit_gate = Gate(name=f"{name}.commit-notify")
+        self.manager.on_commit = self._note_local_commit
+        self._processes = [
+            sim.spawn(self._deliver_loop(), name=f"{name}.deliver", daemon=True),
+            sim.spawn(self._accept_loop(), name=f"{name}.accept", daemon=True),
+        ]
+        if recover_from is None:
+            if discovery is not None:
+                discovery.register(host.address, accepts_load=self._accepts_load)
+        else:
+            # ask the donor for a consistent state at a total-order point;
+            # discovery registration happens once the state is installed
+            member.multicast(("sync", self.name, recover_from))
+
+    def _accepts_load(self) -> bool:
+        """'Replicas that are able to handle additional workload respond'
+        (§5.4): decline discovery once the session cap is reached."""
+        if self.max_sessions is None:
+            return True
+        return self.active_sessions < self.max_sessions
+
+    def _note_local_commit(self, entry: Entry) -> None:
+        self.committed_gids.add(entry.gid)
+        self.commit_gate.notify_all()
+
+    # ------------------------------------------------------------------ GCS side
+
+    def _deliver_loop(self) -> Generator[Any, Any, None]:
+        """Fig. 4 step II: global validation in total delivery order.
+
+        A recovering replica discards everything ordered before its own
+        sync message (the donor's state transfer covers it), blocks until
+        the state arrives, then resumes normal processing — deliveries in
+        the meantime simply wait in the GCS inbox, preserving order.
+        """
+        if self.recover_from is not None:
+            yield from self._recovery_phase()
+        while True:
+            item = yield self.member.deliver()
+            if isinstance(item, ViewChange):
+                self.crashed_seen.update(item.crashed)
+                self.view_gate.notify_all()
+                continue
+            if isinstance(item, protocol.StateTransfer):
+                continue  # late transfer from an abandoned donor
+            assert isinstance(item, Message)
+            self._handle_message(item)
+
+    def _handle_message(self, item: Message) -> None:
+        kind = item.payload[0]
+        if kind == "ws":
+            self._on_writeset(item.payload)
+        elif kind == "ddl":
+            self._on_ddl(item.payload)
+        elif kind == "sync":
+            self._on_sync_request(item.payload)
+
+    def _recovery_phase(self) -> Generator[Any, Any, None]:
+        """Synchronize with a donor at a total-order point.
+
+        Deliveries up to our sync marker are covered by the donor's
+        snapshot; deliveries after it are buffered and replayed once the
+        state is installed.  If the donor crashes mid-handshake, the
+        view change names the survivors and the handshake restarts with
+        a new donor (the state transfer arrives through the GCS inbox so
+        crash, marker, and state race in one ordered stream).
+        """
+        donor = self.recover_from
+        awaiting_state = False
+        buffered: list[Message] = []
+        while True:
+            item = yield self.member.deliver()
+            if isinstance(item, protocol.StateTransfer):
+                if awaiting_state and item.donor == donor:
+                    self._install_state(item)
+                    for message in buffered:
+                        self._handle_message(message)
+                    return
+                continue  # stale transfer from an abandoned handshake
+            if isinstance(item, ViewChange):
+                self.crashed_seen.update(item.crashed)
+                self.view_gate.notify_all()
+                if donor in item.crashed:
+                    candidates = [m for m in item.members if m != self.name]
+                    if candidates:
+                        donor = candidates[0]
+                        awaiting_state = False
+                        buffered.clear()
+                        self.member.multicast(("sync", self.name, donor))
+                continue
+            assert isinstance(item, Message)
+            payload = item.payload
+            if (
+                payload[0] == "sync"
+                and payload[1] == self.name
+                and payload[2] == donor
+            ):
+                awaiting_state = True
+                continue
+            if awaiting_state:
+                # ordered after our sync point: ours to process once the
+                # snapshot is installed
+                buffered.append(item)
+            # else: ordered before the sync point — in the donor snapshot
+
+    def _on_sync_request(self, payload: tuple) -> None:
+        """Donor side: capture a consistent snapshot at this total-order
+        point and ship it to the recovering replica (atomic: no yields)."""
+        _kind, target, donor = payload
+        if donor != self.name or target == self.name:
+            return
+        state = protocol.StateTransfer(
+            donor=self.name,
+            ddl=tuple(self.ddl_log),
+            rows=self.db.export_committed(),
+            certifier=self.certifier.clone(),
+            pending=tuple(entry.record for entry in self.manager.queue),
+            outcomes=dict(self.outcomes),
+        )
+        self.sim.spawn(
+            self._send_state(target, state),
+            name=f"{self.name}.state-transfer",
+            daemon=True,
+        )
+
+    def _send_state(self, target: str, state) -> Generator[Any, Any, None]:
+        network = self.host.network
+        try:
+            channel = network.connect(self.host, target)
+        except ChannelClosed:
+            return  # recovering replica died again; a later attempt will retry
+        channel.client_end.send(state)
+        yield self.sim.sleep(0.0)
+        channel.close()
+
+    def _install_state(self, state) -> None:
+        """Recovering side: rebuild schema, data, and certification."""
+        for sql in state.ddl:
+            self.db.run_ddl(sql)
+        self.ddl_log = list(state.ddl)
+        for table, rows in state.rows.items():
+            self.db.bulk_load(table, rows)
+        self.certifier = state.certifier
+        self.outcomes.update(state.outcomes)
+        for record in state.pending:
+            self.manager.enqueue(Entry(record, local_txn=None))
+        self.recovered = True
+        if self.discovery is not None:
+            self.discovery.register(self.host.address, accepts_load=self._accepts_load)
+
+    def _on_writeset(self, payload: tuple) -> None:
+        _kind, gid, writeset, cert, sender = payload
+        record = WsRecord(gid, writeset, cert=cert, sender=sender)
+        ok = self.certifier.validate(record)
+        if len(self.outcomes) >= self.outcomes_cap:
+            # evict the oldest recorded outcome (dict preserves insertion
+            # order); far older than any plausible in-doubt inquiry
+            self.outcomes.pop(next(iter(self.outcomes)))
+        self.outcomes[gid] = protocol.COMMITTED if ok else protocol.ABORTED
+        self.view_gate.notify_all()  # an in-doubt inquiry may be waiting
+        if not ok:
+            self.commit_gate.notify_all()  # session-consistency waiters
+        local = self._local_pending.pop(gid, None)
+        if not ok:
+            if local is not None:
+                _txn, waiter = local
+                waiter.resolve((protocol.ABORTED, None))
+            # remote: simply discard (Fig. 4 II.2)
+            return
+        local_txn = local[0] if local is not None else None
+        entry = Entry(record, local_txn=local_txn)
+        self.manager.enqueue(entry)
+        if local is not None:
+            local[1].resolve((protocol.COMMITTED, entry))
+
+    def _on_ddl(self, payload: tuple) -> None:
+        _kind, ddl_id, sender, sql = payload
+        self.db.run_ddl(sql)
+        self.ddl_log.append(sql)
+        if sender == self.name:
+            waiter = self._ddl_pending.pop(ddl_id, None)
+            if waiter is not None:
+                waiter.resolve(None)
+
+    # --------------------------------------------------------------- client side
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            channel_end = yield self.host.accept()
+            self._processes.append(
+                self.sim.spawn(
+                    self._session_loop(channel_end),
+                    name=f"{self.name}.session",
+                    daemon=True,
+                )
+            )
+
+    def _session_loop(self, chan) -> Generator[Any, Any, None]:
+        session = _Session()
+        self.active_sessions += 1
+        try:
+            while True:
+                try:
+                    request = yield from chan.recv()
+                except ChannelClosed:
+                    if session.txn is not None and session.txn.active:
+                        self.db.abort(session.txn)
+                    return
+                if isinstance(request, protocol.StateTransfer):
+                    # inbound recovery state from a donor, not a client;
+                    # feed it into the GCS inbox so the recovery phase
+                    # sees state, markers, and view changes as one
+                    # ordered stream
+                    self.member.inbox.put(request)
+                    return
+                try:
+                    response = yield from self._dispatch(session, request)
+                except Exception as err:  # noqa: BLE001 - marshal to the client
+                    response = self._error_response(request, err)
+                    if session.txn is not None and session.txn.active:
+                        self.db.abort(session.txn)
+                    session.txn = None
+                chan.send(response)
+        finally:
+            self.active_sessions -= 1
+
+    def _error_response(self, request, err):
+        info = protocol.marshal_error(err)
+        if isinstance(request, protocol.ExecuteReq):
+            return protocol.ExecuteResp(request.seq, ok=False, error=info)
+        if isinstance(request, protocol.CommitReq):
+            return protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+        return protocol.RollbackResp(request.seq)
+
+    def _dispatch(self, session: _Session, request) -> Generator[Any, Any, Any]:
+        if isinstance(request, protocol.ExecuteReq):
+            result = yield from self._execute(session, request)
+            return result
+        if isinstance(request, protocol.CommitReq):
+            result = yield from self._commit(session, request)
+            return result
+        if isinstance(request, protocol.RollbackReq):
+            if session.txn is not None and session.txn.active:
+                self.db.abort(session.txn)
+            session.txn = None
+            return protocol.RollbackResp(request.seq)
+        if isinstance(request, protocol.InquireReq):
+            outcome = yield from self._inquire(request.gid, request.crashed)
+            return protocol.InquireResp(request.seq, outcome)
+        raise ValueError(f"unknown request {request!r}")
+
+    def _execute(
+        self, session: _Session, request: protocol.ExecuteReq
+    ) -> Generator[Any, Any, protocol.ExecuteResp]:
+        if self.recover_from is not None and not self.recovered:
+            raise CertificationAborted(
+                f"replica {self.name} is recovering; retry another replica"
+            )
+        if request.after_gid is not None:
+            # "a transaction should only be assigned to a replica if all
+            # previous transactions of the same client are already
+            # committed at this replica" (§3) — enforced on failover.
+            yield from wait_until(
+                self.commit_gate,
+                lambda: request.after_gid in self.committed_gids
+                or self.outcomes.get(request.after_gid) == protocol.ABORTED,
+            )
+        sql_upper = request.sql.lstrip().upper()
+        if sql_upper.startswith("CREATE"):
+            if session.txn is not None and session.txn.active:
+                raise CertificationAborted("DDL is not allowed inside a transaction")
+            yield from self._replicated_ddl(request.sql)
+            return protocol.ExecuteResp(request.seq, ok=True, gid=session.gid)
+        if session.txn is None or not session.txn.active:
+            # JDBC has no explicit begin: the first statement starts the
+            # transaction, synchronized with commits via the hole rule
+            # (Fig. 4 step I.1.a).
+            yield from self.manager.wait_local_start()
+            session.gid = f"{self.gid_prefix}:g{next(self._gids)}"
+            session.txn = self.db.begin(gid=session.gid)
+            if self.trace is not None:
+                self.trace.record(session.gid, "begin", self.sim.now)
+        result = yield from self.db.execute(session.txn, request.sql, request.params)
+        return protocol.ExecuteResp(
+            request.seq,
+            ok=True,
+            gid=session.gid,
+            rows=result.rows,
+            columns=result.columns,
+            rowcount=result.rowcount,
+        )
+
+    def _replicated_ddl(self, sql: str) -> Generator[Any, Any, None]:
+        ddl_id = next(self._ddl_ids)
+        waiter = OneShot()
+        self._ddl_pending[ddl_id] = waiter
+        self.member.multicast(("ddl", ddl_id, self.name, sql))
+        yield waiter.wait()
+
+    def _commit(
+        self, session: _Session, request: protocol.CommitReq
+    ) -> Generator[Any, Any, protocol.CommitResp]:
+        txn = session.txn
+        session.txn = None
+        if txn is None or not txn.active:
+            # commit with no statements: trivially committed (empty txn)
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        if self.trace is not None:
+            self.trace.record(txn.gid, "commit_request", self.sim.now)
+        writeset = self.db.get_writeset(txn)
+        if not writeset:
+            yield from self.db.commit(txn)
+            self.stats_readonly_commits += 1
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        # Fig. 4 I.2.d: local validation against the local to-commit queue
+        # (adjustment 1), atomically with the certificate read and the
+        # multicast (no yields = wsmutex).
+        if self.manager.queue.overlaps(writeset):
+            self.db.abort(txn)
+            self.stats_aborts += 1
+            self.outcomes[txn.gid] = protocol.ABORTED
+            return protocol.CommitResp(
+                request.seq,
+                protocol.ABORTED,
+                error=("CertificationAborted", "local validation failed"),
+            )
+        cert = self.certifier.last_validated_tid
+        waiter = OneShot()
+        self._local_pending[txn.gid] = (txn, waiter)
+        self.member.multicast(("ws", txn.gid, writeset, cert, self.name))
+        if self.trace is not None:
+            self.trace.record(txn.gid, "multicast", self.sim.now)
+        outcome, entry = yield waiter.wait()
+        if outcome == protocol.ABORTED:
+            self.db.abort(txn)
+            self.stats_aborts += 1
+            return protocol.CommitResp(
+                request.seq,
+                protocol.ABORTED,
+                error=("CertificationAborted", "global validation failed"),
+            )
+        if self.trace is not None:
+            self.trace.record(txn.gid, "certified", self.sim.now)
+        yield entry.done.wait()
+        if self.trace is not None:
+            self.trace.record(txn.gid, "committed", self.sim.now)
+        self.stats_commits += 1
+        return protocol.CommitResp(request.seq, protocol.COMMITTED, replicated=True)
+
+    # ------------------------------------------------------------- failover side
+
+    def _inquire(self, gid: str, crashed: str) -> Generator[Any, Any, str]:
+        """§5.4 in-doubt resolution: answer only once we either saw the
+        writeset or the view change reporting the old replica's crash."""
+        yield from wait_until(
+            self.view_gate,
+            lambda: gid in self.outcomes or crashed in self.crashed_seen,
+        )
+        return self.outcomes.get(gid, protocol.ABORTED)
+
+    # ------------------------------------------------------------------- control
+
+    def crash(self) -> None:
+        """Kill every middleware process (the cluster also takes down the
+        network host, GCS membership, and the DB with it)."""
+        self.alive = False
+        self.manager.stop()
+        for process in self._processes:
+            process.kill()

@@ -1,0 +1,84 @@
+"""Per-replica to-commit queues (Fig. 1/Fig. 4 ``tocommit_queue_k``).
+
+Entries stay queued from successful validation until their commit at this
+replica, so the queue doubles as the conflict window for adjustment 1's
+local validation ("only validate against transactions still in the
+queue").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.validation import WsRecord
+from repro.sim import Event
+from repro.storage.writeset import WriteSet
+
+
+@dataclass
+class Entry:
+    """One validated transaction awaiting commit at one replica."""
+
+    record: WsRecord
+    local_txn: object = None  # engine Transaction when local, else None
+    started: bool = False
+    done: Event = field(default_factory=Event)
+
+    @property
+    def gid(self) -> str:
+        return self.record.gid
+
+    @property
+    def tid(self) -> int:
+        assert self.record.tid is not None
+        return self.record.tid
+
+    @property
+    def writeset(self) -> WriteSet:
+        return self.record.writeset
+
+    @property
+    def is_local(self) -> bool:
+        return self.local_txn is not None
+
+    def __repr__(self) -> str:
+        kind = "local" if self.is_local else "remote"
+        return f"<Entry {self.gid} tid={self.record.tid} {kind}>"
+
+
+class ToCommitQueue:
+    """Validation-ordered queue of entries pending commit."""
+
+    def __init__(self) -> None:
+        self.entries: list[Entry] = []
+        self.appended_total = 0
+
+    def append(self, entry: Entry) -> None:
+        self.entries.append(entry)
+        self.appended_total += 1
+
+    def remove(self, entry: Entry) -> None:
+        self.entries.remove(entry)
+
+    def conflicting_predecessor(self, entry: Entry) -> Optional[Entry]:
+        """The earliest queued entry before ``entry`` overlapping its ws."""
+        for other in self.entries:
+            if other is entry:
+                return None
+            if other.writeset.conflicts_with(entry.writeset):
+                return other
+        raise ValueError(f"{entry!r} not in queue")
+
+    def head(self) -> Optional[Entry]:
+        return self.entries[0] if self.entries else None
+
+    def overlaps(self, writeset: WriteSet) -> bool:
+        """Adjustment 1 / Fig. 4 I.2.d: local validation against the queue."""
+        return any(e.writeset.conflicts_with(writeset) for e in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

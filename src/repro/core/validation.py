@@ -1,0 +1,83 @@
+"""Optimistic writeset certification (Fig. 1 step I.3 / Fig. 4 step II).
+
+A transaction T carries a certificate ``cert``: the tid of the last
+validated (Fig. 4) or last locally-committed (Fig. 1) transaction observed
+when T's snapshot position was fixed.  Validation of T fails iff some
+already-validated transaction Tj with ``T.cert < Tj.tid`` overlaps T's
+writeset — i.e. a concurrent writer was certified first.
+
+The check "∃ Tj ∈ ws_list: cert < Tj.tid ∧ WS ∩ WSj ≠ ∅" is implemented
+with a per-tuple last-certified-tid map, which is observationally
+identical to scanning ``ws_list`` but O(|WS|) per validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.storage.writeset import WriteSet
+
+
+@dataclass
+class WsRecord:
+    """A writeset travelling through certification."""
+
+    gid: str
+    writeset: WriteSet
+    cert: int
+    sender: str = ""
+    tid: Optional[int] = None
+
+    def conflicts_with(self, other: "WsRecord") -> bool:
+        return self.writeset.conflicts_with(other.writeset)
+
+
+class Certifier:
+    """Deterministic certification state.
+
+    Every SRCA-Rep middleware replica holds one and feeds it writesets in
+    total-order delivery sequence, so all replicas reach identical
+    decisions (§5.3).
+    """
+
+    def __init__(self) -> None:
+        self.last_validated_tid = 0
+        #: (table, pk) -> tid of the last certified transaction writing it
+        self._last_writer: dict[tuple[str, Any], int] = {}
+        self.validated = 0
+        self.rejected = 0
+
+    def conflicts(self, record: WsRecord) -> bool:
+        """Would ``record`` fail validation right now? (No state change.)"""
+        return any(
+            self._last_writer.get(key, 0) > record.cert
+            for key in record.writeset.keys
+        )
+
+    def validate(self, record: WsRecord) -> bool:
+        """Certify ``record``; on success assigns ``record.tid``.
+
+        Must be called in writeset delivery (total) order.
+        """
+        if self.conflicts(record):
+            self.rejected += 1
+            return False
+        self.last_validated_tid += 1
+        record.tid = self.last_validated_tid
+        for key in record.writeset.keys:
+            self._last_writer[key] = record.tid
+        self.validated += 1
+        return True
+
+    @property
+    def decisions(self) -> int:
+        return self.validated + self.rejected
+
+    def clone(self) -> "Certifier":
+        """Snapshot for recovery state transfer: a recovering replica
+        resumes certification from the donor's exact decision state."""
+        other = Certifier()
+        other.last_validated_tid = self.last_validated_tid
+        other._last_writer = dict(self._last_writer)
+        return other

@@ -1,0 +1,24 @@
+"""Group communication substrate (stand-in for Spread, paper §5.2).
+
+Provides exactly the guarantees SRCA-Rep depends on:
+
+* **Total order multicast** — all members deliver all messages in the same
+  order, including the sender.
+* **Uniform reliable delivery** — if *any* member (even one that then
+  crashes) delivers message ``m``, every surviving member delivers ``m``
+  before it is informed of the crash (the view change).
+* **Membership** — members learn about crashes through totally ordered
+  :class:`ViewChange` deliveries.
+"""
+
+from repro.gcs.discovery import DiscoveryService
+from repro.gcs.multicast import GcsConfig, GroupBus, GroupMember, Message, ViewChange
+
+__all__ = [
+    "GroupBus",
+    "GroupMember",
+    "Message",
+    "ViewChange",
+    "GcsConfig",
+    "DiscoveryService",
+]

@@ -1,0 +1,41 @@
+"""Driver discovery, modelling the paper's fixed IP-multicast address.
+
+"The middleware as a whole has a fixed IP multicast address ...  Upon a
+connection request, the SI-Rep JDBC driver multicasts a discovery message
+to the multicast address.  Replicas that are able to handle additional
+workload respond with their IP address/port." (§5.4)
+
+Replicas register a responder callback; ``discover`` returns, after one
+multicast round trip, the addresses of the replicas that answered.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.sim import Simulator
+
+
+class DiscoveryService:
+    """The well-known multicast rendezvous for the whole middleware."""
+
+    def __init__(self, sim: Simulator, round_trip: float = 0.001):
+        self.sim = sim
+        self.round_trip = round_trip
+        self._responders: dict[str, Callable[[], bool]] = {}
+
+    def register(self, address: str, accepts_load: Optional[Callable[[], bool]] = None) -> None:
+        """Announce a middleware replica at ``address``.
+
+        ``accepts_load`` lets a replica decline discovery responses when
+        overloaded; by default it always responds while registered.
+        """
+        self._responders[address] = accepts_load or (lambda: True)
+
+    def unregister(self, address: str) -> None:
+        self._responders.pop(address, None)
+
+    def discover(self) -> Generator[object, object, list[str]]:
+        """One multicast round trip; returns willing replica addresses."""
+        yield self.sim.sleep(self.round_trip)
+        return [addr for addr, willing in self._responders.items() if willing()]

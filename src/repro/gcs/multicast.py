@@ -1,0 +1,198 @@
+"""Total order, uniform reliable multicast via a sequencer bus.
+
+The bus is a *model* of the agreement protocol, not a reimplementation of
+Spread: a message becomes **stable** the instant the sequencer orders it
+(after the sender->bus hop), and a stable message is delivered to every
+live member.  This yields the two properties the paper relies on:
+
+* if the sender crashes before its message reaches the bus, nobody ever
+  delivers it (driver failover case 3a);
+* once sequenced, *everyone* alive delivers it in sequence order, and a
+  crash's view change is sequenced *behind* all earlier messages, so "a
+  member either receives the writeset before being informed about the
+  crash, or not at all" (§5.4).
+
+Latency is calibrated to the paper's Spread numbers: a uniform reliable
+multicast costs a few milliseconds on a LAN (§5.2 reports <= 3 ms).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import GcsError, NotAMember
+from repro.sim import Queue, Simulator
+
+
+@dataclass(frozen=True)
+class GcsConfig:
+    """Tunable delays of the group communication system.
+
+    ``sender_to_bus`` models the sender->sequencer hop; ``bus_to_member``
+    the ordered delivery fan-out (so one multicast costs their sum, ~1.5 ms
+    by default, within the paper's <=3 ms envelope).  ``jitter`` adds a
+    uniform random component to each hop.  ``crash_detection`` is the
+    failure-detector timeout before a view change is issued — "up to a
+    couple of seconds depending on the timeout interval" (§5.2).
+    """
+
+    sender_to_bus: float = 0.0008
+    bus_to_member: float = 0.0007
+    jitter: float = 0.0002
+    crash_detection: float = 0.5
+
+
+@dataclass(frozen=True)
+class Message:
+    """A totally ordered multicast delivery."""
+
+    seq: int
+    sender: str
+    payload: Any
+    view_id: int
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Membership notification, delivered in total order like a message."""
+
+    seq: int
+    view_id: int
+    members: tuple[str, ...]
+    crashed: tuple[str, ...] = field(default_factory=tuple)
+    joined: tuple[str, ...] = field(default_factory=tuple)
+
+
+class GroupMember:
+    """One endpoint's handle on the group: an inbox plus ``multicast``."""
+
+    def __init__(self, bus: "GroupBus", member_id: str):
+        self.bus = bus
+        self.member_id = member_id
+        self.inbox: Queue = Queue(name=f"gcs({member_id})")
+        self.alive = True
+        self._last_delivery = 0.0
+
+    def multicast(self, payload: Any) -> None:
+        """Uniform reliable total order multicast to the whole group."""
+        self.bus._multicast(self, payload)
+
+    def deliver(self):
+        """Awaitable: next :class:`Message` or :class:`ViewChange`."""
+        return self.inbox.get()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<GroupMember {self.member_id} {state}>"
+
+
+class GroupBus:
+    """The sequencer: joins, total ordering, uniform delivery, crashes."""
+
+    def __init__(self, sim: Simulator, config: Optional[GcsConfig] = None):
+        self.sim = sim
+        self.config = config or GcsConfig()
+        self._rng = sim.rng("gcs")
+        self._members: dict[str, GroupMember] = {}
+        self._seq = itertools.count(1)
+        self.view_id = 0
+        self.delivered_count = 0
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(mid for mid, m in self._members.items() if m.alive)
+
+    def join(self, member_id: str) -> GroupMember:
+        """Add a member and announce the new view to everyone.
+
+        The paper performs recovery/joining offline; we likewise expect
+        joins before transaction processing starts, but announce a view so
+        members can track membership uniformly.
+        """
+        if member_id in self._members and self._members[member_id].alive:
+            raise GcsError(f"member {member_id!r} already joined")
+        member = GroupMember(self, member_id)
+        self._members[member_id] = member
+        self.view_id += 1
+        view = ViewChange(
+            seq=next(self._seq),
+            view_id=self.view_id,
+            members=self.members,
+            joined=(member_id,),
+        )
+        self._fanout(view, extra_delay=0.0)
+        return member
+
+    def crash(self, member_id: str) -> None:
+        """Mark a member crashed.
+
+        The member stops delivering immediately; its un-sequenced messages
+        are lost.  Survivors receive the view change once the failure
+        detector fires (``crash_detection`` later), sequenced *behind*
+        every message ordered in the meantime — exactly the "writeset
+        before crash notification, or not at all" guarantee of §5.4.
+        """
+        member = self._members.get(member_id)
+        if member is None or not member.alive:
+            return
+        member.alive = False
+        self.sim.call_at(
+            self.sim.now + self.config.crash_detection,
+            lambda: self._issue_view_change(crashed=(member_id,)),
+        )
+
+    def _issue_view_change(self, crashed: tuple[str, ...]) -> None:
+        self.view_id += 1
+        view = ViewChange(
+            seq=next(self._seq),
+            view_id=self.view_id,
+            members=self.members,
+            crashed=crashed,
+        )
+        self._fanout(view, extra_delay=0.0)
+
+    # -- multicast ---------------------------------------------------------------
+
+    def _multicast(self, sender: GroupMember, payload: Any) -> None:
+        if not sender.alive:
+            raise NotAMember(f"{sender.member_id!r} is not in the view")
+        hop = self.config.sender_to_bus + self._rng.random() * self.config.jitter
+        # The message becomes stable (sequenced) only when it reaches the
+        # bus; if the sender dies first the cluster-level crash handler has
+        # already marked it dead and _sequence drops the message.
+        self.sim.call_at(self.sim.now + hop, lambda: self._sequence(sender, payload))
+
+    def _sequence(self, sender: GroupMember, payload: Any) -> None:
+        if not sender.alive:
+            return  # lost with the sender: never sequenced, never delivered
+        message = Message(
+            seq=next(self._seq),
+            sender=sender.member_id,
+            payload=payload,
+            view_id=self.view_id,
+        )
+        self._fanout(message, extra_delay=0.0)
+
+    def _fanout(self, item: Any, extra_delay: float) -> None:
+        for member in self._members.values():
+            if not member.alive:
+                continue
+            hop = (
+                self.config.bus_to_member
+                + self._rng.random() * self.config.jitter
+                + extra_delay
+            )
+            # Clamp to keep per-member delivery monotone in sequence order.
+            target = max(self.sim.now + hop, member._last_delivery)
+            member._last_delivery = target
+            self.sim.call_at(target, lambda m=member, it=item: self._deliver(m, it))
+
+    def _deliver(self, member: GroupMember, item: Any) -> None:
+        if not member.alive:
+            return
+        self.delivered_count += 1
+        member.inbox.put(item)

@@ -1,0 +1,5 @@
+"""Point-to-point messaging substrate (client <-> middleware links)."""
+
+from repro.net.network import Channel, ChannelClosed, Host, LatencyModel, Network
+
+__all__ = ["Network", "Host", "Channel", "ChannelClosed", "LatencyModel"]

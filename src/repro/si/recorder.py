@@ -1,0 +1,62 @@
+"""Build per-replica SI-schedules from live database histories.
+
+Each :class:`~repro.storage.engine.Database` appends begin/commit events
+to ``db.history`` as they happen.  The recorder reduces that log to the
+committed projection: only transactions that committed at the replica
+appear, with their recorded read/writesets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.si.schedule import BEGIN, COMMIT, Schedule, TxnSpec
+
+
+def schedule_from_history(history: list[tuple]) -> tuple[Schedule, dict[str, bool]]:
+    """(committed schedule, gid -> was-local flag) from one DB history."""
+    committed: dict[str, TxnSpec] = {}
+    local_flags: dict[str, bool] = {}
+    commit_at: dict[str, int] = {}
+    for index, entry in enumerate(history):
+        if entry[0] == "commit":
+            _kind, gid, _csn, readset, writeset = entry
+            committed[gid] = TxnSpec(
+                gid, frozenset(readset), frozenset(writeset)
+            )
+            commit_at[gid] = index
+    # A retried remote application leaves several begin events for one
+    # committed gid; only the attempt that committed counts, i.e. the
+    # last begin before the commit.
+    begin_at: dict[str, int] = {}
+    for index, entry in enumerate(history):
+        if entry[0] != "begin":
+            continue
+        gid = entry[1]
+        if gid in committed and index < commit_at[gid]:
+            begin_at[gid] = index
+            local_flags[gid] = not entry[3]
+    positions = [(index, (BEGIN, gid)) for gid, index in begin_at.items()]
+    positions += [(index, (COMMIT, gid)) for gid, index in commit_at.items()]
+    positions.sort(key=lambda pair: pair[0])
+    events = [event for _index, event in positions]
+    return Schedule(transactions=committed, events=events), local_flags
+
+
+def recorded_schedules(
+    databases: Mapping[str, "object"],
+) -> tuple[dict[str, Schedule], dict[str, str]]:
+    """(per-replica schedules, locality map) over all replicas.
+
+    ``databases`` maps replica name -> Database.  Locality comes from the
+    ``remote`` flag stamped on each transaction's begin.
+    """
+    schedules: dict[str, Schedule] = {}
+    locality: dict[str, str] = {}
+    for name, db in databases.items():
+        schedule, local_flags = schedule_from_history(db.history)
+        schedules[name] = schedule
+        for gid, is_local in local_flags.items():
+            if is_local:
+                locality[gid] = name
+    return schedules, locality

@@ -1,0 +1,336 @@
+"""The discrete-event simulator core: virtual time, processes, scheduling.
+
+The kernel is deliberately small.  Processes are generators that ``yield``
+*awaitables*.  An awaitable is any object with a ``_block(process)`` method;
+it must later resume the process with ``process._schedule_resume(value)`` or
+``process._schedule_throw(exc)``, or support cancellation via
+``_cancel(process)`` when the process is killed while waiting.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.errors import ProcessKilled, SimulationError, SimulationStalled
+
+Coroutine = Generator[Any, Any, Any]
+
+#: Process life-cycle states.
+ALIVE = "alive"
+DONE = "done"
+FAILED = "failed"
+KILLED = "killed"
+
+
+class Delay:
+    """Awaitable that resumes the waiting process after ``duration``."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise SimulationError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def _block(self, process: "Process") -> None:
+        process.sim._schedule(self.duration, process._resume_if_alive, None)
+
+    def _cancel(self, process: "Process") -> None:
+        # The timer will fire but _resume_if_alive ignores dead processes.
+        pass
+
+
+class Process:
+    """A generator coroutine driven by the simulator.
+
+    Attributes
+    ----------
+    name:
+        Diagnostic label used in traces and error messages.
+    state:
+        One of ``alive``, ``done``, ``failed``, ``killed``.
+    result:
+        The generator's return value once ``state == "done"``.
+    exception:
+        The uncaught exception once ``state == "failed"``.
+    """
+
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "daemon",
+        "state",
+        "result",
+        "exception",
+        "_waiting_on",
+        "_joiners",
+    )
+
+    def __init__(self, sim: "Simulator", gen: Coroutine, name: str, daemon: bool):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.daemon = daemon
+        self.state = ALIVE
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiting_on: Any = None
+        self._joiners: list[Process] = []
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {self.state} @{self.sim.now:.6f}>"
+
+    @property
+    def alive(self) -> bool:
+        return self.state == ALIVE
+
+    # -- driving ------------------------------------------------------------
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if self.state != ALIVE:
+            return
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                awaitable = self.gen.throw(exc)
+            else:
+                awaitable = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(DONE, result=stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - report coroutine failure
+            self._finish(FAILED, exception=err)
+            if not self.daemon:
+                self.sim._record_failure(self, err)
+            return
+        if not hasattr(awaitable, "_block"):
+            self._finish(
+                FAILED,
+                exception=SimulationError(
+                    f"process {self.name!r} yielded non-awaitable {awaitable!r}"
+                ),
+            )
+            if not self.daemon:
+                self.sim._record_failure(self, self.exception)  # type: ignore[arg-type]
+            return
+        self._waiting_on = awaitable
+        awaitable._block(self)
+
+    def _finish(
+        self,
+        state: str,
+        result: Any = None,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        self.state = state
+        self.result = result
+        self.exception = exception
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim._schedule(0.0, joiner._resume_join, self)
+
+    # -- resumption entry points used by awaitables -------------------------
+
+    def _schedule_resume(self, value: Any) -> None:
+        self.sim._schedule(0.0, self._step_if_alive, value)
+
+    def _schedule_throw(self, exc: BaseException) -> None:
+        self.sim._schedule(0.0, self._throw_if_alive, exc)
+
+    def _resume_if_alive(self, value: Any) -> None:
+        if self.state == ALIVE:
+            self._step(value)
+
+    def _step_if_alive(self, value: Any) -> None:
+        if self.state == ALIVE:
+            self._step(value)
+
+    def _throw_if_alive(self, exc: BaseException) -> None:
+        if self.state == ALIVE:
+            self._step(exc=exc)
+
+    def _resume_join(self, target: "Process") -> None:
+        if self.state != ALIVE:
+            return
+        if target.state == FAILED:
+            self._step(exc=target.exception)
+        elif target.state == KILLED:
+            self._step(exc=ProcessKilled(f"joined process {target.name!r} was killed"))
+        else:
+            self._step(target.result)
+
+    # -- public control ------------------------------------------------------
+
+    def join(self) -> "_Join":
+        """Awaitable: resume with the process result once it finishes."""
+        return _Join(self)
+
+    def kill(self) -> None:
+        """Terminate the process immediately.
+
+        The generator is closed (its ``finally`` clauses run, but must not
+        yield) and any awaitable it was blocked on is told to forget it.
+        Joiners are resumed with :class:`ProcessKilled`.
+        """
+        if self.state != ALIVE:
+            return
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None and hasattr(waiting, "_cancel"):
+            waiting._cancel(self)
+        self.state = KILLED
+        try:
+            self.gen.close()
+        except BaseException as err:  # noqa: BLE001
+            self.exception = err
+        joiners, self._joiners = self._joiners, []
+        for joiner in joiners:
+            self.sim._schedule(0.0, joiner._resume_join, self)
+
+
+class _Join:
+    __slots__ = ("target",)
+
+    def __init__(self, target: Process):
+        self.target = target
+
+    def _block(self, process: Process) -> None:
+        if self.target.state != ALIVE:
+            self.target.sim._schedule(0.0, process._resume_join, self.target)
+        else:
+            self.target._joiners.append(process)
+
+    def _cancel(self, process: Process) -> None:
+        if process in self.target._joiners:
+            self.target._joiners.remove(process)
+
+
+class Simulator:
+    """Deterministic discrete-event loop with named random streams."""
+
+    def __init__(self, seed: int = 0, trace: Optional[Callable[..., None]] = None):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+        self._seed = seed
+        self._rngs: dict[str, random.Random] = {}
+        self._failure: Optional[tuple[Process, BaseException]] = None
+        self._trace = trace
+        self.processes: list[Process] = []
+
+    # -- time & randomness ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def rng(self, stream: str) -> random.Random:
+        """A dedicated RNG for ``stream``, derived from the simulator seed.
+
+        Distinct streams are statistically independent and insensitive to
+        draw order in other streams, which keeps experiments comparable
+        when one component changes.
+        """
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = random.Random(f"{self._seed}/{stream}")
+            self._rngs[stream] = rng
+        return rng
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, delay: float, callback: Callable, arg: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, arg))
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute virtual time ``time``.
+
+        Pushes the absolute time directly (no now + delta round trip) so
+        that events targeted at the exact same instant keep FIFO order
+        regardless of floating-point representation.
+        """
+        if time < self._now:
+            raise SimulationError(f"call_at in the past: {time} < {self._now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, lambda _arg: callback(), None))
+
+    def sleep(self, duration: float) -> Delay:
+        """Awaitable: resume after ``duration`` virtual seconds."""
+        return Delay(duration)
+
+    def _record_failure(self, process: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (process, exc)
+
+    # -- processes -------------------------------------------------------------
+
+    def spawn(self, gen: Coroutine, name: str = "?", daemon: bool = False) -> Process:
+        """Create a process and schedule its first step immediately.
+
+        Non-daemon processes that die with an uncaught exception abort the
+        whole run (the exception propagates out of :meth:`run`); daemons
+        merely record it.
+        """
+        if isinstance(gen, Iterator) and not isinstance(gen, Generator):
+            raise SimulationError(f"spawn needs a generator, got {type(gen)!r}")
+        process = Process(self, gen, name, daemon)
+        self.processes.append(process)
+        self._schedule(0.0, process._step_if_alive, None)
+        if self._trace:
+            self._trace("spawn", self._now, name)
+        return process
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Execute events until the heap is empty or ``until`` is passed."""
+        while self._heap:
+            time, _seq, callback, arg = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            callback(arg)
+            if self._failure is not None:
+                process, exc = self._failure
+                self._failure = None
+                raise SimulationError(
+                    f"process {process.name!r} failed at t={self._now:.6f}"
+                ) from exc
+
+    def run_process(self, gen: Coroutine, name: str = "main") -> Any:
+        """Spawn ``gen`` and run the loop until it finishes.
+
+        Returns the generator's return value, re-raises its exception, or
+        raises :class:`SimulationStalled` if the event heap drains while the
+        process is still blocked (a real deadlock among processes).
+        """
+        process = self.spawn(gen, name=name, daemon=True)
+        while self._heap and process.state == ALIVE:
+            time, _seq, callback, arg = heapq.heappop(self._heap)
+            self._now = time
+            callback(arg)
+            if self._failure is not None:
+                proc, exc = self._failure
+                self._failure = None
+                raise SimulationError(
+                    f"process {proc.name!r} failed at t={self._now:.6f}"
+                ) from exc
+        if process.state == DONE:
+            return process.result
+        if process.state == FAILED:
+            raise process.exception  # type: ignore[misc]
+        if process.state == KILLED:
+            raise ProcessKilled(f"process {name!r} was killed")
+        raise SimulationStalled(
+            f"event heap drained at t={self._now:.6f} while {name!r} "
+            f"was still blocked on {process._waiting_on!r}"
+        )

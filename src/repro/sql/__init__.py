@@ -1,0 +1,29 @@
+"""SQL front-end: the dialect clients speak through the JDBC driver.
+
+Supported statements::
+
+    CREATE TABLE t (a INT PRIMARY KEY, b TEXT NOT NULL, c FLOAT, d BOOL,
+                    p INT REFERENCES parent)
+    CREATE INDEX i ON t (b)
+    INSERT INTO t (a, b) VALUES (1, 'x'), (2, ?)
+    UPDATE t SET b = ?, c = c + 1 WHERE a = 1 AND c > 0
+    DELETE FROM t WHERE b IN ('x', 'y')
+    SELECT [DISTINCT] a, b FROM t WHERE ... ORDER BY b DESC, a LIMIT 10
+    SELECT t.a, u.d FROM t [LEFT [OUTER]] JOIN u ON t.a = u.ref WHERE ...
+    SELECT COUNT(*), SUM(c), AVG(c), MIN(c), MAX(c) FROM t WHERE ...
+    SELECT g, SUM(v) FROM t GROUP BY g HAVING COUNT(*) > 1 ORDER BY g
+    SELECT a FROM t WHERE c = (SELECT MAX(c) FROM t)
+    SELECT a FROM t WHERE b IN (SELECT name FROM u WHERE flag = TRUE)
+
+Expressions: literals (incl. scientific-notation floats), columns, ``?``
+parameters, arithmetic ``+ - * /``, comparisons, ``AND OR NOT``,
+``IN (...)``, ``BETWEEN``, ``IS [NOT] NULL``, ``LIKE`` with ``%``/``_``
+wildcards.  :mod:`repro.sql.render` turns ASTs back into SQL text and
+:func:`repro.storage.engine.Database.explain` reports access paths.
+"""
+
+from repro.sql.executor import Result, execute
+from repro.sql.parser import parse, parse_cached
+from repro.sql.render import render
+
+__all__ = ["parse", "parse_cached", "execute", "render", "Result"]

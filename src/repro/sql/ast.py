@@ -1,0 +1,187 @@
+"""AST node definitions for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    table: Optional[str] = None  # qualifier, e.g. t.a
+
+    @property
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder, numbered left to right from 0."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # = <> < <= > >= + - * / AND OR
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # NOT, NEG
+    operand: Any
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: Any
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between:
+    expr: Any
+    low: Any
+    high: Any
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    expr: Any
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like:
+    expr: Any
+    pattern: Any
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    func: str  # COUNT SUM AVG MIN MAX
+    arg: Optional[Any]  # None for COUNT(*)
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """An uncorrelated ``(SELECT ...)`` used as a scalar or an IN source.
+
+    Bound to concrete values once per statement before row evaluation
+    (see ``executor._bind_subqueries``).
+    """
+
+    select: Any  # a Select node
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnClause:
+    """A projected output column: expression plus optional alias."""
+
+    expr: Any
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Join:
+    table: str
+    alias: Optional[str]
+    on_left: Column
+    on_right: Column
+    left_outer: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: Column
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    columns: tuple  # of ColumnClause, or ("*",)
+    table: str
+    alias: Optional[str] = None
+    distinct: bool = False
+    joins: tuple = field(default_factory=tuple)
+    where: Optional[Any] = None
+    group_by: tuple = field(default_factory=tuple)  # of Column
+    having: Optional[Any] = None
+    order_by: tuple = field(default_factory=tuple)
+    limit: Optional[Any] = None
+    kind: str = "select"
+
+    @property
+    def is_aggregate(self) -> bool:
+        return any(
+            isinstance(c, ColumnClause) and isinstance(c.expr, Aggregate)
+            for c in self.columns
+        )
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple
+    rows: tuple  # tuple of tuples of expressions
+    kind: str = "insert"
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple  # of (column_name, expr)
+    where: Optional[Any] = None
+    kind: str = "update"
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Any] = None
+    kind: str = "delete"
+
+
+@dataclass(frozen=True)
+class CreateColumn:
+    name: str
+    type: str
+    primary_key: bool = False
+    not_null: bool = False
+    references: Optional[str] = None  # referenced table (its primary key)
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple
+    kind: str = "create_table"
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    column: str
+    kind: str = "create_index"

@@ -1,0 +1,570 @@
+"""Statement execution against the MVCC engine.
+
+The executor is a simulation coroutine because write statements may block
+on row locks.  Reads are pure snapshot reads and never block (the whole
+point of SI, §1).
+
+Access paths: point lookup on primary key equality, index lookup on an
+indexed column equality/IN, else full scan; joins are nested-loop with an
+index/pk inner lookup when available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.expressions import equality_lookups, evaluate
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    kind: str
+    rows: Optional[list[dict]] = None  # None for DML/DDL
+    columns: tuple = ()
+    rowcount: int = 0  # returned rows for SELECT, affected rows for DML
+    rows_examined: int = 0
+    rows_written: int = 0
+    scalars: list = field(default_factory=list)
+
+    def scalar(self) -> Any:
+        """First column of the first row (aggregates, point reads)."""
+        if not self.rows:
+            return None
+        first = self.rows[0]
+        return first[self.columns[0]] if self.columns else next(iter(first.values()))
+
+
+def execute(db, txn, statement, params: tuple) -> Generator[Any, Any, Result]:
+    """Dispatch one parsed statement."""
+    examined_before = txn.rows_examined
+    statement = _bind_statement_subqueries(db, txn, statement, params)
+    if statement.kind == "select":
+        result = _select(db, txn, statement, params)
+    elif statement.kind == "insert":
+        result = yield from _insert(db, txn, statement, params)
+    elif statement.kind == "update":
+        result = yield from _update(db, txn, statement, params)
+    elif statement.kind == "delete":
+        result = yield from _delete(db, txn, statement, params)
+    elif statement.kind == "create_table":
+        result = _create_table(db, statement)
+    elif statement.kind == "create_index":
+        result = _create_index(db, statement)
+    else:
+        raise SQLError(f"unsupported statement kind {statement.kind!r}")
+    result.rows_examined = txn.rows_examined - examined_before
+    return result
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+def _create_table(db, statement: ast.CreateTable) -> Result:
+    from repro.storage.catalog import ColumnDef, TableSchema
+
+    schema = TableSchema(
+        name=statement.table,
+        columns=tuple(
+            ColumnDef(
+                c.name,
+                c.type,
+                primary_key=c.primary_key,
+                not_null=c.not_null,
+                references=c.references,
+            )
+            for c in statement.columns
+        ),
+    )
+    db.create_table(schema)
+    return Result(kind="create_table")
+
+
+def _create_index(db, statement: ast.CreateIndex) -> Result:
+    db.create_index(statement.table, statement.column)
+    return Result(kind="create_index")
+
+
+# ---------------------------------------------------------------------------
+# Uncorrelated subqueries: bound to values once per statement
+# ---------------------------------------------------------------------------
+
+
+def _bind_statement_subqueries(db, txn, statement, params: tuple):
+    """Replace ``(SELECT ...)`` expressions in WHERE clauses by their
+    values.  Subqueries are uncorrelated: evaluated once, on the same
+    snapshot as the enclosing statement."""
+    import dataclasses
+
+    if statement.kind not in ("select", "update", "delete"):
+        return statement
+    if getattr(statement, "where", None) is None:
+        return statement
+    bound = _bind_expr(db, txn, statement.where, params)
+    if bound is statement.where:
+        return statement
+    return dataclasses.replace(statement, where=bound)
+
+
+def _bind_expr(db, txn, expr: Any, params: tuple) -> Any:
+    if isinstance(expr, ast.Subquery):
+        values = _run_subquery(db, txn, expr.select, params)
+        if len(values) > 1:
+            raise SQLError("scalar subquery returned more than one row")
+        return ast.Literal(values[0] if values else None)
+    if isinstance(expr, ast.InList):
+        if len(expr.items) == 1 and isinstance(expr.items[0], ast.Subquery):
+            values = _run_subquery(db, txn, expr.items[0].select, params)
+            return ast.InList(
+                expr.expr, tuple(ast.Literal(v) for v in values), expr.negated
+            )
+        return expr
+    if isinstance(expr, ast.BinOp):
+        left = _bind_expr(db, txn, expr.left, params)
+        right = _bind_expr(db, txn, expr.right, params)
+        if left is expr.left and right is expr.right:
+            return expr
+        return ast.BinOp(expr.op, left, right)
+    if isinstance(expr, ast.UnaryOp):
+        operand = _bind_expr(db, txn, expr.operand, params)
+        if operand is expr.operand:
+            return expr
+        return ast.UnaryOp(expr.op, operand)
+    if isinstance(expr, ast.Between):
+        low = _bind_expr(db, txn, expr.low, params)
+        high = _bind_expr(db, txn, expr.high, params)
+        inner = _bind_expr(db, txn, expr.expr, params)
+        if low is expr.low and high is expr.high and inner is expr.expr:
+            return expr
+        return ast.Between(inner, low, high, expr.negated)
+    return expr
+
+
+def _run_subquery(db, txn, select: "ast.Select", params: tuple) -> list:
+    """Run an uncorrelated single-column subquery; returns its values."""
+    bound = _bind_statement_subqueries(db, txn, select, params)
+    result = _select(db, txn, bound, params)
+    if len(result.columns) != 1:
+        raise SQLError("subquery must return exactly one column")
+    column = result.columns[0]
+    return [row[column] for row in result.rows]
+
+
+# ---------------------------------------------------------------------------
+# Row sourcing (shared by SELECT / UPDATE / DELETE)
+# ---------------------------------------------------------------------------
+
+
+def _column_matcher(table, alias: Optional[str]) -> Callable[[ast.Column], Optional[str]]:
+    names = set(table.schema.column_names)
+    aliases = {table.name}
+    if alias:
+        aliases.add(alias)
+
+    def match(col: ast.Column) -> Optional[str]:
+        if col.table is not None and col.table not in aliases:
+            return None
+        return col.name if col.name in names else None
+
+    return match
+
+
+def choose_path(table, alias, where, params) -> tuple:
+    """The access path ``_candidate_rows`` will take (EXPLAIN surface).
+
+    Returns ``("pk", n_keys)``, ``("index", column, n_keys)``, or
+    ``("scan",)``.
+    """
+    lookups = equality_lookups(where, params, _column_matcher(table, alias))
+    pk_column = table.schema.pk_column
+    if pk_column in lookups:
+        return ("pk", len(set(lookups[pk_column])))
+    for column, values in lookups.items():
+        if all(table.index_candidates(column, v) is not None for v in values):
+            return ("index", column, len(values))
+    return ("scan",)
+
+
+def _candidate_rows(db, txn, table, alias, where, params):
+    """Yield (pk, values) via the best access path for ``where``."""
+    lookups = equality_lookups(where, params, _column_matcher(table, alias))
+    pk_column = table.schema.pk_column
+    if pk_column in lookups:
+        seen = set()
+        for pk in lookups[pk_column]:
+            if pk in seen:
+                continue
+            seen.add(pk)
+            txn.rows_examined += 1
+            values = db.read_row(txn, table, pk)
+            if values is not None:
+                yield pk, values
+        # Rows this txn inserted are reachable via read_row above already.
+        return
+    for column, values in lookups.items():
+        candidates: set = set()
+        usable = True
+        for value in values:
+            pks = table.index_candidates(column, value)
+            if pks is None:
+                usable = False
+                break
+            candidates.update(pks)
+        if usable:
+            # Own inserted rows may not be indexed yet; add them.
+            for key, op in txn.writes.items():
+                if key[0] == table.name and op.values is not None:
+                    candidates.add(key[1])
+            yield from db.scan(txn, table, candidates=sorted(candidates, key=repr))
+            return
+    yield from db.scan(txn, table)
+
+
+def _single_table_matches(db, txn, table, alias, where, params):
+    """Materialise matching (pk, values) pairs of one table."""
+    matcher = _column_matcher(table, alias)
+    matches = []
+    for pk, values in _candidate_rows(db, txn, table, alias, where, params):
+        if where is None:
+            matches.append((pk, values))
+            continue
+
+        def lookup(col: ast.Column, _values=values) -> Any:
+            name = matcher(col)
+            if name is None:
+                raise SQLError(f"unknown column {col.display!r}")
+            return _values[name]
+
+        if evaluate(where, lookup, params):
+            matches.append((pk, values))
+    return matches
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+class _JoinedRow:
+    """Namespace mapping (alias or table) -> row dict for joined scans."""
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: dict[str, dict]):
+        self.frames = frames
+
+    def lookup(self, col: ast.Column) -> Any:
+        if col.table is not None:
+            frame = self.frames.get(col.table)
+            if frame is None:
+                raise SQLError(f"unknown table qualifier {col.table!r}")
+            if col.name not in frame:
+                raise SQLError(f"unknown column {col.display!r}")
+            return frame[col.name]
+        hits = [frame for frame in self.frames.values() if col.name in frame]
+        if not hits:
+            raise SQLError(f"unknown column {col.name!r}")
+        if len(hits) > 1:
+            raise SQLError(f"ambiguous column {col.name!r}")
+        return hits[0][col.name]
+
+
+def _select(db, txn, statement: ast.Select, params: tuple) -> Result:
+    table = db.catalog.table(statement.table)
+    base_key = statement.alias or statement.table
+
+    if not statement.joins:
+        joined = [
+            _JoinedRow({base_key: values})
+            for _pk, values in _single_table_matches(
+                db, txn, table, statement.alias, statement.where, params
+            )
+        ]
+    else:
+        # Equality conjuncts on the base table narrow the scan; they give
+        # a superset of the matches, and the full WHERE filters after the
+        # joins.
+        joined = [
+            _JoinedRow({base_key: values})
+            for _pk, values in _candidate_rows(
+                db, txn, table, statement.alias, statement.where, params
+            )
+        ]
+        for join in statement.joins:
+            joined = _apply_join(db, txn, joined, join)
+        if statement.where is not None:
+            joined = [
+                row
+                for row in joined
+                if evaluate(statement.where, row.lookup, params)
+            ]
+
+    if statement.is_aggregate or statement.group_by:
+        return _aggregate(statement, joined, params)
+
+    if statement.distinct:
+        # SQL semantics: project, dedupe, then ORDER BY (on output
+        # columns) and LIMIT.
+        columns, rows = _project(statement, joined, params)
+        seen = set()
+        unique = []
+        for row in rows:
+            key = tuple(sorted(row.items(), key=lambda kv: kv[0]))
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+        for item in reversed(statement.order_by):
+            name = item.column.name
+            if rows and name not in rows[0]:
+                raise SQLError(
+                    f"ORDER BY column {name!r} must be in the DISTINCT output"
+                )
+            rows.sort(key=lambda r, n=name: _sort_key(r[n]), reverse=item.descending)
+        if statement.limit is not None:
+            limit = evaluate(statement.limit, lambda c: None, params)
+            rows = rows[: int(limit)]
+        return Result(kind="select", rows=rows, columns=columns, rowcount=len(rows))
+
+    if statement.order_by:
+        for item in reversed(statement.order_by):
+            joined.sort(
+                key=lambda row, col=item.column: _sort_key(row.lookup(col)),
+                reverse=item.descending,
+            )
+    if statement.limit is not None:
+        limit = evaluate(statement.limit, lambda c: None, params)
+        joined = joined[: int(limit)]
+
+    columns, rows = _project(statement, joined, params)
+    return Result(kind="select", rows=rows, columns=columns, rowcount=len(rows))
+
+
+def _sort_key(value: Any) -> tuple:
+    # NULLs last on ascending order, and mixed types grouped by type name.
+    return (value is None, type(value).__name__, value if value is not None else 0)
+
+
+def _apply_join(db, txn, joined: list, join: ast.Join) -> list:
+    inner = db.catalog.table(join.table)
+    inner_key = join.alias or join.table
+    inner_matcher = _column_matcher(inner, join.alias)
+    # Decide which side of ON refers to the inner table.
+    if inner_matcher(join.on_right) is not None:
+        outer_col, inner_col = join.on_left, join.on_right
+    elif inner_matcher(join.on_left) is not None:
+        outer_col, inner_col = join.on_right, join.on_left
+    else:
+        raise SQLError(f"join ON does not reference {join.table!r}")
+    inner_name = inner_matcher(inner_col)
+    out = []
+    use_pk = inner_name == inner.schema.pk_column
+    null_frame = {name: None for name in inner.schema.column_names}
+    for row in joined:
+        value = row.lookup(outer_col)
+        if value is None:
+            matches = []
+        elif use_pk:
+            txn.rows_examined += 1
+            values = db.read_row(txn, inner, value)
+            matches = [values] if values is not None else []
+        else:
+            candidates = inner.index_candidates(inner_name, value)
+            matches = [
+                vals
+                for _pk, vals in db.scan(txn, inner, candidates=candidates)
+                if vals[inner_name] == value
+            ]
+        if not matches and join.left_outer:
+            matches = [null_frame]
+        for values in matches:
+            frames = dict(row.frames)
+            frames[inner_key] = values
+            out.append(_JoinedRow(frames))
+    return out
+
+
+def _project(statement: ast.Select, joined: list, params: tuple):
+    if statement.columns == ("*",):
+        rows = []
+        for row in joined:
+            flat: dict = {}
+            for frame in row.frames.values():
+                for name, value in frame.items():
+                    flat.setdefault(name, value)
+            rows.append(flat)
+        columns = tuple(rows[0].keys()) if rows else ()
+        return columns, rows
+    columns = []
+    for clause in statement.columns:
+        if clause.alias:
+            columns.append(clause.alias)
+        elif isinstance(clause.expr, ast.Column):
+            columns.append(clause.expr.name)
+        else:
+            columns.append(f"col{len(columns)}")
+    rows = []
+    for row in joined:
+        rows.append(
+            {
+                name: evaluate(clause.expr, row.lookup, params)
+                for name, clause in zip(columns, statement.columns)
+            }
+        )
+    return tuple(columns), rows
+
+
+def _eval_aggregate(expr: ast.Aggregate, members: list, params: tuple) -> Any:
+    if expr.func == "COUNT" and expr.arg is None:
+        return len(members)
+    samples = [evaluate(expr.arg, row.lookup, params) for row in members]
+    samples = [s for s in samples if s is not None]
+    if expr.func == "COUNT":
+        return len(samples)
+    if not samples:
+        return None
+    if expr.func == "SUM":
+        return sum(samples)
+    if expr.func == "AVG":
+        return sum(samples) / len(samples)
+    if expr.func == "MIN":
+        return min(samples)
+    if expr.func == "MAX":
+        return max(samples)
+    raise SQLError(f"unknown aggregate {expr.func!r}")
+
+
+def _fold_aggregates(expr: Any, members: list, params: tuple) -> Any:
+    """Replace Aggregate nodes by their computed value (for HAVING)."""
+    if isinstance(expr, ast.Aggregate):
+        return ast.Literal(_eval_aggregate(expr, members, params))
+    if isinstance(expr, ast.BinOp):
+        return ast.BinOp(
+            expr.op,
+            _fold_aggregates(expr.left, members, params),
+            _fold_aggregates(expr.right, members, params),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _fold_aggregates(expr.operand, members, params))
+    return expr
+
+
+def _aggregate(statement: ast.Select, joined: list, params: tuple) -> Result:
+    """Aggregates, with or without GROUP BY, plus HAVING/ORDER BY/LIMIT."""
+    if statement.group_by:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for row in joined:
+            key = tuple(row.lookup(col) for col in statement.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        grouped = [(key, groups[key]) for key in order]
+    else:
+        grouped = [((), joined)]
+
+    grouped_names = {col.name for col in statement.group_by}
+    specs: list[tuple[str, str, Any]] = []
+    for i, clause in enumerate(statement.columns):
+        expr = clause.expr
+        if isinstance(expr, ast.Aggregate):
+            specs.append((clause.alias or f"{expr.func.lower()}{i}", "agg", expr))
+        elif isinstance(expr, ast.Column):
+            if expr.name not in grouped_names:
+                raise SQLError(
+                    f"column {expr.display!r} must appear in GROUP BY "
+                    "or be inside an aggregate"
+                )
+            specs.append((clause.alias or expr.name, "group", expr))
+        else:
+            raise SQLError("projection must be a column or an aggregate here")
+    columns = tuple(name for name, _k, _e in specs)
+
+    rows = []
+    for _key, members in grouped:
+        out: dict = {}
+        for name, kind, expr in specs:
+            if kind == "group":
+                out[name] = evaluate(expr, members[0].lookup, params)
+            else:
+                out[name] = _eval_aggregate(expr, members, params)
+        if statement.having is not None:
+            folded = _fold_aggregates(statement.having, members, params)
+
+            def lookup(col: ast.Column, _out=out, _members=members) -> Any:
+                if col.name in _out:
+                    return _out[col.name]
+                return _members[0].lookup(col)
+
+            if not evaluate(folded, lookup, params):
+                continue
+        rows.append(out)
+
+    if statement.order_by:
+        for item in reversed(statement.order_by):
+            name = item.column.name
+            if rows and name not in rows[0]:
+                raise SQLError(
+                    f"ORDER BY column {name!r} is not in the grouped output"
+                )
+            rows.sort(key=lambda r, n=name: _sort_key(r[n]), reverse=item.descending)
+    if statement.limit is not None:
+        limit = evaluate(statement.limit, lambda c: None, params)
+        rows = rows[: int(limit)]
+    return Result(kind="select", rows=rows, columns=columns, rowcount=len(rows))
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+def _insert(db, txn, statement: ast.Insert, params: tuple):
+    table = db.catalog.table(statement.table)
+    written = 0
+    for row_exprs in statement.rows:
+        values = {
+            column: evaluate(expr, lambda c: None, params)
+            for column, expr in zip(statement.columns, row_exprs)
+        }
+        yield from db.stage_insert(txn, table, values)
+        written += 1
+    return Result(kind="insert", rowcount=written, rows_written=written)
+
+
+def _update(db, txn, statement: ast.Update, params: tuple):
+    table = db.catalog.table(statement.table)
+    pk_column = table.schema.pk_column
+    matches = _single_table_matches(db, txn, table, None, statement.where, params)
+    written = 0
+    for pk, values in matches:
+        def lookup(col: ast.Column, _values=values) -> Any:
+            if col.name not in _values:
+                raise SQLError(f"unknown column {col.display!r}")
+            return _values[col.name]
+
+        new_values = dict(values)
+        for column, expr in statement.assignments:
+            if column == pk_column:
+                raise SQLError("updating the primary key is not supported")
+            new_values[column] = evaluate(expr, lookup, params)
+        yield from db.stage_update(txn, table, pk, new_values)
+        written += 1
+    return Result(kind="update", rowcount=written, rows_written=written)
+
+
+def _delete(db, txn, statement: ast.Delete, params: tuple):
+    table = db.catalog.table(statement.table)
+    matches = _single_table_matches(db, txn, table, None, statement.where, params)
+    written = 0
+    for pk, _values in matches:
+        yield from db.stage_delete(txn, table, pk)
+        written += 1
+    return Result(kind="delete", rowcount=written, rows_written=written)

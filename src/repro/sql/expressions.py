@@ -1,0 +1,195 @@
+"""Expression evaluation with SQL-ish NULL semantics.
+
+Comparisons involving NULL are false; arithmetic with NULL yields NULL;
+``IS [NOT] NULL`` tests explicitly.  This is a pragmatic two-valued
+simplification of SQL's three-valued logic, sufficient for the workloads.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SQLError
+from repro.sql import ast
+
+RowLookup = Callable[[ast.Column], Any]
+
+
+def evaluate(expr: Any, lookup: RowLookup, params: tuple) -> Any:
+    """Evaluate ``expr`` against one row (via ``lookup``) and parameters."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.index >= len(params):
+            raise SQLError(
+                f"statement has parameter ?{expr.index} but only "
+                f"{len(params)} values were supplied"
+            )
+        return params[expr.index]
+    if isinstance(expr, ast.Column):
+        return lookup(expr)
+    if isinstance(expr, ast.BinOp):
+        return _binop(expr, lookup, params)
+    if isinstance(expr, ast.UnaryOp):
+        value = evaluate(expr.operand, lookup, params)
+        if expr.op == "NOT":
+            return not _truthy(value)
+        if expr.op == "NEG":
+            return None if value is None else -value
+        raise SQLError(f"unknown unary op {expr.op!r}")
+    if isinstance(expr, ast.InList):
+        value = evaluate(expr.expr, lookup, params)
+        if value is None:
+            return False
+        members = [evaluate(item, lookup, params) for item in expr.items]
+        result = value in members
+        return not result if expr.negated else result
+    if isinstance(expr, ast.Between):
+        value = evaluate(expr.expr, lookup, params)
+        low = evaluate(expr.low, lookup, params)
+        high = evaluate(expr.high, lookup, params)
+        if value is None or low is None or high is None:
+            return False
+        result = low <= value <= high
+        return not result if expr.negated else result
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.expr, lookup, params)
+        result = value is None
+        return not result if expr.negated else result
+    if isinstance(expr, ast.Like):
+        value = evaluate(expr.expr, lookup, params)
+        pattern = evaluate(expr.pattern, lookup, params)
+        if value is None or pattern is None:
+            return False
+        result = bool(_like_regex(pattern).match(str(value)))
+        return not result if expr.negated else result
+    raise SQLError(f"cannot evaluate expression {expr!r}")
+
+
+def _binop(expr: ast.BinOp, lookup: RowLookup, params: tuple) -> Any:
+    op = expr.op
+    if op == "AND":
+        return _truthy(evaluate(expr.left, lookup, params)) and _truthy(
+            evaluate(expr.right, lookup, params)
+        )
+    if op == "OR":
+        return _truthy(evaluate(expr.left, lookup, params)) or _truthy(
+            evaluate(expr.right, lookup, params)
+        )
+    left = evaluate(expr.left, lookup, params)
+    right = evaluate(expr.right, lookup, params)
+    if op in ("+", "-", "*", "/"):
+        if left is None or right is None:
+            return None
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if right == 0:
+            raise SQLError("division by zero")
+        return left / right
+    if left is None or right is None:
+        return False
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as err:
+        raise SQLError(f"type error comparing {left!r} {op} {right!r}") from err
+    raise SQLError(f"unknown operator {op!r}")
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _like_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        compiled = re.compile(f"^{regex}$", re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+# ---------------------------------------------------------------------------
+# Planner helpers
+# ---------------------------------------------------------------------------
+
+
+def conjuncts(where: Optional[Any]) -> Iterator[Any]:
+    """Top-level AND-ed terms of a WHERE clause."""
+    if where is None:
+        return
+    if isinstance(where, ast.BinOp) and where.op == "AND":
+        yield from conjuncts(where.left)
+        yield from conjuncts(where.right)
+    else:
+        yield where
+
+
+def constant_value(expr: Any, params: tuple) -> tuple[bool, Any]:
+    """(is_constant, value) for expressions not needing a row."""
+    if isinstance(expr, ast.Literal):
+        return True, expr.value
+    if isinstance(expr, ast.Param):
+        return True, params[expr.index] if expr.index < len(params) else None
+    if isinstance(expr, ast.UnaryOp) and expr.op == "NEG":
+        ok, value = constant_value(expr.operand, params)
+        if ok and value is not None:
+            return True, -value
+        return False, None
+    return False, None
+
+
+def equality_lookups(
+    where: Optional[Any], params: tuple, matches_column: Callable[[ast.Column], Optional[str]]
+) -> dict[str, list[Any]]:
+    """Constant equality constraints per column name.
+
+    ``matches_column`` maps an AST column reference to the canonical
+    column name if it refers to the scanned table, else None.  IN-lists of
+    constants contribute multi-value lookups.
+    """
+    found: dict[str, list[Any]] = {}
+    for term in conjuncts(where):
+        if isinstance(term, ast.BinOp) and term.op == "=":
+            for col_side, other in ((term.left, term.right), (term.right, term.left)):
+                if isinstance(col_side, ast.Column):
+                    name = matches_column(col_side)
+                    if name is None:
+                        continue
+                    ok, value = constant_value(other, params)
+                    if ok:
+                        found.setdefault(name, []).append(value)
+        elif isinstance(term, ast.InList) and not term.negated:
+            if isinstance(term.expr, ast.Column):
+                name = matches_column(term.expr)
+                if name is None:
+                    continue
+                values = []
+                for item in term.items:
+                    ok, value = constant_value(item, params)
+                    if not ok:
+                        break
+                    values.append(value)
+                else:
+                    existing = found.get(name)
+                    if existing is None:
+                        found[name] = values
+    return found

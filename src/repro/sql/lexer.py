@@ -1,0 +1,118 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SQLError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET",
+    "DELETE", "CREATE", "TABLE", "INDEX", "ON", "PRIMARY", "KEY", "NOT",
+    "DISTINCT", "LEFT", "OUTER", "REFERENCES",
+    "NULL", "AND", "OR", "IN", "BETWEEN", "LIKE", "IS", "ORDER", "BY", "GROUP",
+    "HAVING",
+    "ASC", "DESC", "LIMIT", "JOIN", "INNER", "AS", "COUNT", "SUM", "AVG",
+    "MIN", "MAX", "TRUE", "FALSE", "INT", "FLOAT", "TEXT", "BOOL",
+}
+
+#: token kinds
+KW = "kw"
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+PARAM = "param"
+PUNCT = "punct"
+END = "end"
+
+PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*",
+               "+", "-", "/", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Token stream for ``sql``; always ends with an END token."""
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise SQLError(f"unterminated string literal at {i}")
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            tokens.append(Token(STRING, "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # a trailing dot followed by non-digit is punctuation
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            seen_exp = False
+            if j < n and sql[j] in "eE":
+                k = j + 1
+                if k < n and sql[k] in "+-":
+                    k += 1
+                if k < n and sql[k].isdigit():
+                    seen_exp = True
+                    while k < n and sql[k].isdigit():
+                        k += 1
+                    j = k
+            text = sql[i:j]
+            value = float(text) if ("." in text or seen_exp) else int(text)
+            tokens.append(Token(NUMBER, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KW, upper, i))
+            else:
+                tokens.append(Token(IDENT, word, i))
+            i = j
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, None, i))
+            i += 1
+            continue
+        for punct in PUNCTUATION:
+            if sql.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, i))
+                i += len(punct)
+                break
+        else:
+            raise SQLError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(END, None, n))
+    return tokens

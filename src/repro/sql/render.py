@@ -1,0 +1,139 @@
+"""Render AST nodes back to SQL text.
+
+Used for diagnostics (EXPLAIN-style output, logs) and to property-test
+the parser: ``parse(render(statement))`` must reproduce the statement.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SQLError
+from repro.sql import ast
+
+
+def render_expr(expr: Any) -> str:
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(value)
+    if isinstance(expr, ast.Column):
+        return expr.display
+    if isinstance(expr, ast.Param):
+        return "?"
+    if isinstance(expr, ast.BinOp):
+        return f"({render_expr(expr.left)} {expr.op} {render_expr(expr.right)})"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {render_expr(expr.operand)})"
+        return f"(-{render_expr(expr.operand)})"
+    if isinstance(expr, ast.InList):
+        items = ", ".join(render_expr(item) for item in expr.items)
+        keyword = "NOT IN" if expr.negated else "IN"
+        return f"({render_expr(expr.expr)} {keyword} ({items}))"
+    if isinstance(expr, ast.Between):
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({render_expr(expr.expr)} {keyword} "
+            f"{render_expr(expr.low)} AND {render_expr(expr.high)})"
+        )
+    if isinstance(expr, ast.IsNull):
+        keyword = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"({render_expr(expr.expr)} {keyword})"
+    if isinstance(expr, ast.Like):
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return f"({render_expr(expr.expr)} {keyword} {render_expr(expr.pattern)})"
+    if isinstance(expr, ast.Aggregate):
+        arg = "*" if expr.arg is None else render_expr(expr.arg)
+        return f"{expr.func}({arg})"
+    if isinstance(expr, ast.Subquery):
+        return f"({render(expr.select)})"
+    raise SQLError(f"cannot render {expr!r}")
+
+
+def render(statement: Any) -> str:
+    """One statement back to SQL text."""
+    if isinstance(statement, ast.Select):
+        return _render_select(statement)
+    if isinstance(statement, ast.Insert):
+        columns = ", ".join(statement.columns)
+        rows = ", ".join(
+            "(" + ", ".join(render_expr(e) for e in row) + ")"
+            for row in statement.rows
+        )
+        return f"INSERT INTO {statement.table} ({columns}) VALUES {rows}"
+    if isinstance(statement, ast.Update):
+        sets = ", ".join(
+            f"{column} = {render_expr(expr)}"
+            for column, expr in statement.assignments
+        )
+        sql = f"UPDATE {statement.table} SET {sets}"
+        if statement.where is not None:
+            sql += f" WHERE {render_expr(statement.where)}"
+        return sql
+    if isinstance(statement, ast.Delete):
+        sql = f"DELETE FROM {statement.table}"
+        if statement.where is not None:
+            sql += f" WHERE {render_expr(statement.where)}"
+        return sql
+    if isinstance(statement, ast.CreateTable):
+        columns = []
+        for column in statement.columns:
+            text = f"{column.name} {column.type}"
+            if column.primary_key:
+                text += " PRIMARY KEY"
+            if column.not_null:
+                text += " NOT NULL"
+            if column.references:
+                text += f" REFERENCES {column.references}"
+            columns.append(text)
+        return f"CREATE TABLE {statement.table} ({', '.join(columns)})"
+    if isinstance(statement, ast.CreateIndex):
+        return (
+            f"CREATE INDEX {statement.name} ON {statement.table} "
+            f"({statement.column})"
+        )
+    raise SQLError(f"cannot render statement {statement!r}")
+
+
+def _render_select(statement: ast.Select) -> str:
+    if statement.columns == ("*",):
+        projection = "*"
+    else:
+        parts = []
+        for clause in statement.columns:
+            text = render_expr(clause.expr)
+            if clause.alias:
+                text += f" AS {clause.alias}"
+            parts.append(text)
+        projection = ", ".join(parts)
+    keyword = "SELECT DISTINCT" if statement.distinct else "SELECT"
+    sql = f"{keyword} {projection} FROM {statement.table}"
+    if statement.alias:
+        sql += f" {statement.alias}"
+    for join in statement.joins:
+        sql += f" LEFT JOIN {join.table}" if join.left_outer else f" JOIN {join.table}"
+        if join.alias:
+            sql += f" {join.alias}"
+        sql += f" ON {join.on_left.display} = {join.on_right.display}"
+    if statement.where is not None:
+        sql += f" WHERE {render_expr(statement.where)}"
+    if statement.group_by:
+        sql += " GROUP BY " + ", ".join(c.display for c in statement.group_by)
+        if statement.having is not None:
+            sql += f" HAVING {render_expr(statement.having)}"
+    if statement.order_by:
+        parts = [
+            item.column.display + (" DESC" if item.descending else "")
+            for item in statement.order_by
+        ]
+        sql += " ORDER BY " + ", ".join(parts)
+    if statement.limit is not None:
+        sql += f" LIMIT {render_expr(statement.limit)}"
+    return sql

@@ -1,0 +1,31 @@
+"""PostgreSQL-style MVCC storage engine providing snapshot isolation.
+
+This is the database replica the middleware sits on top of.  It implements
+the exact concurrency semantics the paper depends on (§4):
+
+* reads come from a **snapshot** taken at transaction begin;
+* writes take **row-level exclusive locks**; a blocked writer waits for the
+  holder, and after the grant performs a **version check** — if the last
+  committed version of the row was created by a concurrent transaction the
+  writer aborts (*first-updater-wins*);
+* the lock manager detects **deadlocks** and aborts the requester;
+* **writesets** can be extracted *before* commit and applied wholesale at
+  remote replicas (the paper's PostgreSQL writeset-management extension).
+"""
+
+from repro.storage.catalog import ColumnDef, TableSchema
+from repro.storage.engine import CostModel, Database, NullCostModel, Transaction
+from repro.storage.locks import LockManager
+from repro.storage.writeset import WriteOp, WriteSet
+
+__all__ = [
+    "Database",
+    "Transaction",
+    "CostModel",
+    "NullCostModel",
+    "LockManager",
+    "WriteSet",
+    "WriteOp",
+    "TableSchema",
+    "ColumnDef",
+]

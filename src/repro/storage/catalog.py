@@ -1,0 +1,200 @@
+"""Schemas, tables, and secondary indexes.
+
+Tables are dictionaries of primary key -> version chain.  Secondary
+indexes map a column value to the set of primary keys that *ever* carried
+that value; lookups post-filter by snapshot visibility, which keeps index
+maintenance trivially correct under MVCC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.errors import CatalogError, IntegrityError
+from repro.storage.versions import VersionChain
+
+#: Supported column type names -> Python types accepted for the column.
+COLUMN_TYPES: dict[str, tuple[type, ...]] = {
+    "INT": (int,),
+    "FLOAT": (float, int),
+    "TEXT": (str,),
+    "BOOL": (bool,),
+}
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column of a table schema.
+
+    ``references`` names a table whose primary key this column points
+    at (a single-column FOREIGN KEY, NO ACTION semantics).
+    """
+
+    name: str
+    type: str
+    primary_key: bool = False
+    not_null: bool = False
+    references: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.type not in COLUMN_TYPES:
+            raise CatalogError(f"unknown column type {self.type!r}")
+
+    def check(self, value: Any) -> Any:
+        """Validate/coerce ``value`` for this column; returns the value."""
+        if value is None:
+            if self.not_null or self.primary_key:
+                raise IntegrityError(f"column {self.name!r} is NOT NULL")
+            return None
+        accepted = COLUMN_TYPES[self.type]
+        if self.type == "FLOAT" and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self.type == "BOOL" and not isinstance(value, bool):
+            raise IntegrityError(f"column {self.name!r} expects BOOL, got {value!r}")
+        if self.type == "INT" and isinstance(value, bool):
+            raise IntegrityError(f"column {self.name!r} expects INT, got bool")
+        if not isinstance(value, accepted):
+            raise IntegrityError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table definition with a single-column primary key."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column in table {self.name!r}")
+        pks = [c for c in self.columns if c.primary_key]
+        if len(pks) != 1:
+            raise CatalogError(
+                f"table {self.name!r} needs exactly one PRIMARY KEY column"
+            )
+
+    @property
+    def pk_column(self) -> str:
+        return next(c.name for c in self.columns if c.primary_key)
+
+    @property
+    def foreign_keys(self) -> tuple[tuple[str, str], ...]:
+        """(column, referenced table) pairs declared on this table."""
+        return tuple(
+            (c.name, c.references) for c in self.columns if c.references
+        )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> ColumnDef:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def validate_row(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Check a full row against the schema, filling missing with None."""
+        unknown = set(values) - set(self.column_names)
+        if unknown:
+            raise CatalogError(
+                f"unknown column(s) {sorted(unknown)} for table {self.name!r}"
+            )
+        row = {}
+        for col in self.columns:
+            row[col.name] = col.check(values.get(col.name))
+        return row
+
+
+class Table:
+    """Versioned rows plus secondary indexes."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: dict[Any, VersionChain] = {}
+        #: column -> value -> set of pks that ever held that value
+        self.indexes: dict[str, dict[Any, set[Any]]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def create_index(self, column: str) -> None:
+        self.schema.column(column)  # existence check
+        if column in self.indexes:
+            raise CatalogError(
+                f"index on {self.name}.{column} already exists"
+            )
+        index: dict[Any, set[Any]] = {}
+        for pk, chain in self.rows.items():
+            for version in chain.versions:
+                if version.values is not None:
+                    index.setdefault(version.values[column], set()).add(pk)
+        self.indexes[column] = index
+
+    def chain(self, pk: Any) -> Optional[VersionChain]:
+        return self.rows.get(pk)
+
+    def ensure_chain(self, pk: Any) -> VersionChain:
+        chain = self.rows.get(pk)
+        if chain is None:
+            chain = VersionChain()
+            self.rows[pk] = chain
+        return chain
+
+    def index_insert(self, values: dict[str, Any]) -> None:
+        """Register a new committed version's values in all indexes."""
+        pk = values[self.schema.pk_column]
+        for column, index in self.indexes.items():
+            index.setdefault(values[column], set()).add(pk)
+
+    def index_candidates(self, column: str, value: Any) -> Optional[Iterable[Any]]:
+        """Pks that may match ``column == value``, or None if no index."""
+        index = self.indexes.get(column)
+        if index is None:
+            return None
+        return index.get(value, set())
+
+
+class Catalog:
+    """All tables of one database replica."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, Table] = {}
+        #: referenced table -> [(child table, child column)] reverse map
+        self.referencers: dict[str, list[tuple[str, str]]] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        for column, parent in schema.foreign_keys:
+            if parent not in self.tables:
+                raise CatalogError(
+                    f"{schema.name}.{column} REFERENCES unknown table {parent!r}"
+                )
+        table = Table(schema)
+        self.tables[schema.name] = table
+        for column, parent in schema.foreign_keys:
+            self.referencers.setdefault(parent, []).append((schema.name, column))
+        return table
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise CatalogError(f"no such table {name!r}")
+        return table
+
+    def clone_empty(self) -> "Catalog":
+        """Same schemas and indexes, no data (for replica bootstrap)."""
+        clone = Catalog()
+        for table in self.tables.values():
+            new = clone.create_table(table.schema)
+            for column in table.indexes:
+                new.create_index(column)
+        return clone

@@ -1,0 +1,573 @@
+"""The database replica: transactions, snapshot isolation, writesets.
+
+One :class:`Database` is one replica.  Its concurrency semantics follow
+paper §4's description of PostgreSQL:
+
+* ``conflict_detection="locking"`` (default, §4): writers take row locks
+  during execution and version-check on grant — *first-updater-wins*.
+* ``conflict_detection="deferred"`` (§3's idealised DB): writes never
+  block; write/write conflicts are checked atomically at commit.
+
+All potentially blocking entry points (``execute``, ``commit``,
+``apply_writeset``) are simulation coroutines (use ``yield from``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Iterable, Iterator, Optional
+
+from repro.errors import (
+    IntegrityError,
+    InvalidTransactionState,
+    SerializationFailure,
+    SQLError,
+)
+from repro.sim import Simulator
+from repro.sim.resources import Resource
+from repro.storage.catalog import Catalog, Table, TableSchema
+from repro.storage.locks import LockManager
+from repro.storage.versions import Version
+from repro.storage.writeset import DELETE, INSERT, UPDATE, WriteOp, WriteSet
+from repro.sql import executor as sql_executor
+from repro.sql.parser import parse_cached
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+LOCKING = "locking"
+DEFERRED = "deferred"
+
+
+class CostModel:
+    """Service-time model hooks; subclass to calibrate (see bench.costs).
+
+    Every hook returns ``(cpu_seconds, disk_seconds)`` charged against the
+    replica's CPU/disk resources.
+    """
+
+    def statement(
+        self, kind: str, rows_examined: int, rows_returned: int, rows_written: int
+    ) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def writeset_apply(self, n_ops: int) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def commit(self, n_writes: int) -> tuple[float, float]:
+        raise NotImplementedError
+
+
+class NullCostModel(CostModel):
+    """Zero-cost model: pure-correctness runs take no virtual time."""
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        return (0.0, 0.0)
+
+    def writeset_apply(self, n_ops):
+        return (0.0, 0.0)
+
+    def commit(self, n_writes):
+        return (0.0, 0.0)
+
+
+class Transaction:
+    """A database-local transaction handle.
+
+    ``gid`` is the cluster-wide identifier the middleware stamps on both
+    the local execution and all remote writeset applications of one client
+    transaction; standalone engine users get an auto-generated one.
+    """
+
+    _ids = itertools.count(1)
+
+    __slots__ = (
+        "xid",
+        "gid",
+        "snapshot_csn",
+        "status",
+        "remote",
+        "writes",
+        "write_order",
+        "readset",
+        "rows_examined",
+        "db",
+    )
+
+    def __init__(self, db: "Database", gid: str, snapshot_csn: int, remote: bool):
+        self.db = db
+        self.xid = next(self._ids)
+        self.gid = gid
+        self.snapshot_csn = snapshot_csn
+        self.status = ACTIVE
+        self.remote = remote
+        self.writes: dict[tuple[str, Any], WriteOp] = {}
+        self.write_order: list[tuple[str, Any]] = []
+        self.readset: set[tuple[str, Any]] = set()
+        self.rows_examined = 0
+
+    @property
+    def active(self) -> bool:
+        return self.status == ACTIVE
+
+    def __repr__(self) -> str:
+        return f"<Txn {self.gid} xid={self.xid} {self.status} snap={self.snapshot_csn}>"
+
+
+class Database:
+    """One replica: catalog + version store + lock manager + history."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "db",
+        conflict_detection: str = LOCKING,
+        cost_model: Optional[CostModel] = None,
+        cpu: Optional[Resource] = None,
+        disk: Optional[Resource] = None,
+    ):
+        if conflict_detection not in (LOCKING, DEFERRED):
+            raise ValueError(f"bad conflict_detection {conflict_detection!r}")
+        self.sim = sim
+        self.name = name
+        self.conflict_detection = conflict_detection
+        self.cost_model = cost_model or NullCostModel()
+        self.cpu = cpu
+        self.disk = disk
+        self.catalog = Catalog()
+        self.locks = LockManager(name=f"{name}.rowlocks")
+        self.csn = 0
+        #: ordered begin/commit event log consumed by repro.si.recorder
+        self.history: list[tuple] = []
+        self.commits = 0
+        self.aborts = 0
+        self._active: set[Transaction] = set()
+        self._committed_gids: set[str] = set()
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(self, schema: TableSchema) -> Table:
+        return self.catalog.create_table(schema)
+
+    def create_index(self, table: str, column: str) -> None:
+        self.catalog.table(table).create_index(column)
+
+    def run_ddl(self, sql: str) -> None:
+        """Execute a CREATE TABLE/INDEX statement outside any transaction.
+
+        Replicated deployments deliver DDL through the total-order channel
+        so every replica applies it at the same logical point; it is
+        non-transactional, like most DDL in practice.
+        """
+        from repro.sql import executor as sql_executor
+
+        statement = parse_cached(sql)
+        if statement.kind == "create_table":
+            sql_executor._create_table(self, statement)
+        elif statement.kind == "create_index":
+            sql_executor._create_index(self, statement)
+        else:
+            raise SQLError(f"run_ddl only accepts CREATE statements: {sql!r}")
+
+    def bulk_load(self, table_name: str, rows: Iterable[dict]) -> int:
+        """Install initial rows outside any transaction (bootstrap only).
+
+        Rows get csn 0 and are visible to every snapshot.  Only legal
+        before the first commit, so replicas can be seeded identically
+        without polluting the recorded schedule history.
+        """
+        if self.csn != 0:
+            raise InvalidTransactionState("bulk_load only before first commit")
+        table = self.catalog.table(table_name)
+        count = 0
+        for values in rows:
+            row = table.schema.validate_row(values)
+            pk = row[table.schema.pk_column]
+            chain = table.ensure_chain(pk)
+            if len(chain):
+                raise IntegrityError(f"duplicate bulk key {pk!r} in {table_name!r}")
+            chain.install(Version(0, row, writer="bulk"))
+            table.index_insert(row)
+            count += 1
+        return count
+
+    def explain(self, sql: str, params: tuple = ()) -> tuple:
+        """The access path the executor will use for ``sql``.
+
+        ``("pk", n)`` point lookups, ``("index", column, n)`` secondary
+        index probes, or ``("scan",)``.  Diagnostics only; DDL and
+        joined queries report the base table's path.
+        """
+        statement = parse_cached(sql)
+        if statement.kind in ("create_table", "create_index"):
+            return ("ddl",)
+        if statement.kind == "insert":
+            return ("pk", len(statement.rows))
+        table = self.catalog.table(statement.table)
+        alias = getattr(statement, "alias", None)
+        where = statement.where
+        return sql_executor.choose_path(table, alias, where, params)
+
+    def has_committed(self, gid: str) -> bool:
+        """Did a transaction with this global id commit here?  Used by a
+        failing-over middleware to make writeset re-application
+        idempotent (Fig. 3(b) takeover)."""
+        return gid in self._committed_gids
+
+    def abort_all_active(self) -> int:
+        """Abort every active transaction.
+
+        Models what a real DBMS does when the connections of a crashed
+        middleware break: "upon connection loss, database systems abort
+        the active transaction on the connection" (§5.1).
+        """
+        victims = list(self._active)
+        for txn in victims:
+            self.abort(txn)
+        return len(victims)
+
+    def vacuum(self) -> int:
+        """Prune row versions no active snapshot can see (PostgreSQL's
+        VACUUM).  Keeps, per row, the version visible at the oldest
+        active snapshot and everything newer.  Returns versions removed.
+        """
+        if self._active:
+            horizon = min(txn.snapshot_csn for txn in self._active)
+        else:
+            horizon = self.csn
+        removed = 0
+        for table in self.catalog.tables.values():
+            for pk in list(table.rows.keys()):
+                chain = table.rows[pk]
+                versions = chain.versions
+                keep_from = 0
+                for i, version in enumerate(versions):
+                    if version.csn <= horizon:
+                        keep_from = i
+                kept = versions[keep_from:]
+                # a tombstone nobody can see anymore frees the whole row
+                if len(kept) == 1 and kept[0].is_delete and kept[0].csn <= horizon:
+                    removed += len(versions)
+                    del table.rows[pk]
+                    continue
+                removed += len(versions) - len(kept)
+                chain.versions = kept
+        return removed
+
+    def version_count(self) -> int:
+        """Total stored versions across all tables (diagnostics)."""
+        return sum(
+            len(chain)
+            for table in self.catalog.tables.values()
+            for chain in table.rows.values()
+        )
+
+    def export_committed(self) -> dict[str, list[dict]]:
+        """Latest committed row images per table (recovery state transfer).
+
+        Captured atomically (no yields): this is the consistent state a
+        donor replica ships to a recovering one at the sync point.
+        """
+        out: dict[str, list[dict]] = {}
+        for name, table in self.catalog.tables.items():
+            rows = []
+            for chain in table.rows.values():
+                latest = chain.latest()
+                if latest is not None and latest.values is not None:
+                    rows.append(dict(latest.values))
+            out[name] = rows
+        return out
+
+    # ------------------------------------------------------- transaction API
+
+    def begin(self, gid: Optional[str] = None, remote: bool = False) -> Transaction:
+        """Start a transaction on the current snapshot (never blocks).
+
+        Taking the snapshot and reading ``self.csn`` happen atomically
+        w.r.t. commits because the kernel is cooperative and ``begin``
+        never yields — the role of SRCA's ``dbmutex``.
+        """
+        txn = Transaction(
+            self,
+            gid=gid or f"{self.name}:t{next(Transaction._ids)}",
+            snapshot_csn=self.csn,
+            remote=remote,
+        )
+        self._active.add(txn)
+        self.history.append(("begin", txn.gid, txn.snapshot_csn, remote))
+        return txn
+
+    def _check_active(self, txn: Transaction) -> None:
+        if txn.status != ACTIVE:
+            raise InvalidTransactionState(f"{txn!r} is not active")
+
+    def execute(
+        self, txn: Transaction, sql: str, params: tuple = ()
+    ) -> Generator[Any, Any, "sql_executor.Result"]:
+        """Run one SQL statement inside ``txn`` (may block on row locks)."""
+        self._check_active(txn)
+        statement = parse_cached(sql)
+        try:
+            result = yield from sql_executor.execute(self, txn, statement, params)
+        except Exception:
+            # Statement failure poisons the transaction, like PostgreSQL.
+            self.abort(txn)
+            raise
+        yield from self._charge(
+            self.cost_model.statement(
+                statement.kind,
+                result.rows_examined,
+                result.rowcount,
+                result.rows_written,
+            )
+        )
+        return result
+
+    def commit(self, txn: Transaction) -> Generator[Any, Any, Optional[int]]:
+        """Commit ``txn``; returns the csn (None for read-only commits).
+
+        In ``deferred`` mode this performs the write/write conflict check
+        the idealised DB of §3 does at commit time.
+        """
+        self._check_active(txn)
+        yield from self._charge(self.cost_model.commit(len(txn.writes)))
+        # the transaction may have been aborted while the commit work was
+        # queued (e.g. abort_all_active after a middleware crash)
+        self._check_active(txn)
+        # From here on: no yields — install is atomic.
+        if self.conflict_detection == DEFERRED:
+            for key in txn.write_order:
+                table = self.catalog.table(key[0])
+                chain = table.chain(key[1])
+                latest = chain.latest() if chain else None
+                if latest is not None and latest.csn > txn.snapshot_csn:
+                    self.abort(txn)
+                    raise SerializationFailure(
+                        f"{txn.gid}: commit-time conflict on {key!r}"
+                    )
+        csn: Optional[int] = None
+        if txn.writes:
+            self.csn += 1
+            csn = self.csn
+            for key in txn.write_order:
+                op = txn.writes[key]
+                table = self.catalog.table(op.table)
+                chain = table.ensure_chain(op.pk)
+                chain.install(Version(csn, op.values, writer=txn.gid))
+                if op.values is not None:
+                    table.index_insert(op.values)
+        txn.status = COMMITTED
+        self._active.discard(txn)
+        self._committed_gids.add(txn.gid)
+        self.history.append(
+            ("commit", txn.gid, csn, frozenset(txn.readset), frozenset(txn.writes))
+        )
+        self.commits += 1
+        self.locks.release_all(txn)
+        return csn
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: drop staged writes, release locks (never blocks)."""
+        if txn.status == ABORTED:
+            return
+        if txn.status == COMMITTED:
+            raise InvalidTransactionState(f"{txn!r} already committed")
+        txn.status = ABORTED
+        self._active.discard(txn)
+        self.aborts += 1
+        self.locks.release_all(txn)
+
+    # ------------------------------------------------------- writeset module
+
+    def get_writeset(self, txn: Transaction) -> WriteSet:
+        """Pre-commit writeset retrieval (the paper's extension)."""
+        self._check_active(txn)
+        return WriteSet([txn.writes[key] for key in txn.write_order])
+
+    def apply_writeset(
+        self, txn: Transaction, writeset: WriteSet
+    ) -> Generator[Any, Any, None]:
+        """Replay a remote transaction's after images inside ``txn``.
+
+        May block on locks held by local transactions and may raise
+        :class:`SerializationFailure`/:class:`DeadlockDetected`; the
+        middleware retries with a fresh transaction until it succeeds
+        (§4.2 "the middleware has to reapply the writeset").
+        """
+        self._check_active(txn)
+        for op in writeset:
+            yield from self._lock_and_check(txn, op.table, op.pk)
+            self._stage(txn, op)
+        yield from self._charge(self.cost_model.writeset_apply(len(writeset)))
+
+    # -------------------------------------------------- executor entry points
+
+    def read_row(
+        self, txn: Transaction, table: Table, pk: Any
+    ) -> Optional[dict[str, Any]]:
+        """Snapshot read of one row (plus read-your-own-writes)."""
+        key = (table.name, pk)
+        if key in txn.writes:
+            op = txn.writes[key]
+            txn.readset.add(key)
+            return op.values
+        chain = table.chain(pk)
+        if chain is None:
+            return None
+        values = chain.visible_values(txn.snapshot_csn)
+        if values is not None:
+            txn.readset.add(key)
+        return values
+
+    def scan(
+        self, txn: Transaction, table: Table, candidates: Optional[Iterable[Any]] = None
+    ) -> Iterator[tuple[Any, dict[str, Any]]]:
+        """Iterate visible rows (candidate pks, or the whole table)."""
+        if candidates is None:
+            pks: Iterable[Any] = list(table.rows.keys())
+            own = [
+                op.pk
+                for key, op in txn.writes.items()
+                if key[0] == table.name and key[1] not in table.rows
+            ]
+            if own:
+                pks = list(pks) + own
+        else:
+            pks = candidates
+        for pk in pks:
+            txn.rows_examined += 1
+            values = self.read_row(txn, table, pk)
+            if values is not None:
+                yield pk, values
+
+    def stage_insert(
+        self, txn: Transaction, table: Table, values: dict[str, Any]
+    ) -> Generator[Any, Any, None]:
+        row = table.schema.validate_row(values)
+        pk = row[table.schema.pk_column]
+        key = (table.name, pk)
+        if key in txn.writes and txn.writes[key].values is not None:
+            raise IntegrityError(f"duplicate key {pk!r} in {table.name!r}")
+        yield from self._lock_and_check(txn, table.name, pk)
+        latest = self._latest(table, pk)
+        if latest is not None and not latest.is_delete:
+            self.abort(txn)
+            raise IntegrityError(f"duplicate key {pk!r} in {table.name!r}")
+        self._check_foreign_keys(txn, table, row)
+        self._stage(txn, WriteOp(table.name, pk, INSERT, row))
+
+    def stage_update(
+        self, txn: Transaction, table: Table, pk: Any, new_values: dict[str, Any]
+    ) -> Generator[Any, Any, None]:
+        row = table.schema.validate_row(new_values)
+        yield from self._lock_and_check(txn, table.name, pk)
+        self._check_foreign_keys(txn, table, row)
+        previous = txn.writes.get((table.name, pk))
+        op = INSERT if previous is not None and previous.op == INSERT else UPDATE
+        self._stage(txn, WriteOp(table.name, pk, op, row))
+
+    def stage_delete(
+        self, txn: Transaction, table: Table, pk: Any
+    ) -> Generator[Any, Any, None]:
+        yield from self._lock_and_check(txn, table.name, pk)
+        self._check_no_referencing_rows(txn, table, pk)
+        self._stage(txn, WriteOp(table.name, pk, DELETE, None))
+
+    def _check_foreign_keys(
+        self, txn: Transaction, table: Table, row: dict[str, Any]
+    ) -> None:
+        """Child-side FK check: every non-NULL reference must resolve.
+
+        Checked at the *local* replica under the transaction's snapshot
+        (remote writeset application trusts the certified after-images).
+        Like any SI scheme that certifies only writes, a cross-replica
+        delete/insert race on a parent row is not detected — the paper's
+        "only conflicts between write operations are detected" caveat.
+        """
+        for column, parent_name in table.schema.foreign_keys:
+            value = row[column]
+            if value is None:
+                continue
+            parent = self.catalog.table(parent_name)
+            if self.read_row(txn, parent, value) is None:
+                self.abort(txn)
+                raise IntegrityError(
+                    f"{table.name}.{column}={value!r} references no row "
+                    f"in {parent_name!r}"
+                )
+
+    def _check_no_referencing_rows(
+        self, txn: Transaction, table: Table, pk: Any
+    ) -> None:
+        """Parent-side FK check (NO ACTION): reject the delete if any
+        visible child row still references it."""
+        for child_name, column in self.catalog.referencers.get(table.name, ()):
+            child = self.catalog.table(child_name)
+            candidates = child.index_candidates(column, pk)
+            for _child_pk, values in self.scan(txn, child, candidates=candidates):
+                if values[column] == pk:
+                    self.abort(txn)
+                    raise IntegrityError(
+                        f"cannot delete {table.name}[{pk!r}]: referenced by "
+                        f"{child_name}.{column}"
+                    )
+
+    # ----------------------------------------------------------- internals
+
+    def _latest(self, table: Table, pk: Any) -> Optional[Version]:
+        chain = table.chain(pk)
+        return chain.latest() if chain else None
+
+    def _lock_and_check(
+        self, txn: Transaction, table_name: str, pk: Any
+    ) -> Generator[Any, Any, None]:
+        """Lock the row, then first-updater-wins version check (§4).
+
+        In ``deferred`` mode both steps are skipped: conflicts are found
+        at commit.
+        """
+        if self.conflict_detection == DEFERRED:
+            return
+        key = (table_name, pk)
+        try:
+            yield from self.locks.acquire(txn, key)
+        except Exception:
+            self.abort(txn)
+            raise
+        if key in txn.writes:
+            return  # own earlier write: no re-check
+        table = self.catalog.table(table_name)
+        latest = self._latest(table, pk)
+        if latest is not None and latest.csn > txn.snapshot_csn:
+            self.abort(txn)
+            raise SerializationFailure(
+                f"{txn.gid}: row {key!r} updated by concurrent committed txn"
+            )
+
+    def _stage(self, txn: Transaction, op: WriteOp) -> None:
+        key = op.key
+        if key not in txn.writes:
+            txn.write_order.append(key)
+        txn.writes[key] = op
+
+    def _charge(self, cost: tuple[float, float]) -> Generator[Any, Any, None]:
+        cpu_time, disk_time = cost
+        if self.cpu is not None and cpu_time > 0:
+            yield from self.cpu.use(cpu_time)
+        if self.disk is not None and disk_time > 0:
+            yield from self.disk.use(disk_time)
+
+    # ----------------------------------------------------------- diagnostics
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def table_row_count(self, table: str, snapshot: Optional[int] = None) -> int:
+        """Committed visible rows (diagnostics / tests)."""
+        snap = self.csn if snapshot is None else snapshot
+        t = self.catalog.table(table)
+        return sum(
+            1 for chain in t.rows.values() if chain.visible_values(snap) is not None
+        )

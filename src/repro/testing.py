@@ -1,0 +1,64 @@
+"""Convenience helpers for driving simulated components synchronously.
+
+These wrap ``Simulator.run_process`` so that tests, examples, and quick
+scripts can call the coroutine-style APIs with plain function calls when
+no real concurrency is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.sim import Simulator
+from repro.storage.engine import Database, Transaction
+
+
+def execute_sync(
+    sim: Simulator,
+    db: Database,
+    txn: Transaction,
+    sql: str,
+    params: tuple = (),
+) -> Any:
+    """Run one statement to completion and return its Result."""
+    return sim.run_process(db.execute(txn, sql, params), name="execute_sync")
+
+
+def commit_sync(sim: Simulator, db: Database, txn: Transaction) -> Optional[int]:
+    """Commit ``txn`` to completion; returns the csn."""
+    return sim.run_process(db.commit(txn), name="commit_sync")
+
+
+def run_txn(
+    sim: Simulator,
+    db: Database,
+    statements: Sequence[tuple],
+    gid: Optional[str] = None,
+) -> list:
+    """Begin, execute ``statements`` ((sql,) or (sql, params)), commit.
+
+    Returns the list of Results.  Any failure propagates after the engine
+    aborts the transaction.
+    """
+    def body():
+        txn = db.begin(gid=gid)
+        results = []
+        for statement in statements:
+            sql, params = statement if len(statement) == 2 else (statement[0], ())
+            result = yield from db.execute(txn, sql, params)
+            results.append(result)
+        yield from db.commit(txn)
+        return results
+
+    return sim.run_process(body(), name="run_txn")
+
+
+def query(sim: Simulator, db: Database, sql: str, params: tuple = ()) -> list[dict]:
+    """One-shot read-only query in its own transaction; returns rows."""
+    def body():
+        txn = db.begin()
+        result = yield from db.execute(txn, sql, params)
+        yield from db.commit(txn)
+        return result.rows
+
+    return sim.run_process(body(), name="query")

@@ -1,0 +1,14 @@
+"""Workloads and measurement machinery for the §6 evaluation."""
+
+from repro.workloads.clients import ClientPool, ProcClientPool
+from repro.workloads.spec import TxnTemplate, Workload
+from repro.workloads.stats import Stats, mean_confidence_interval
+
+__all__ = [
+    "Workload",
+    "TxnTemplate",
+    "ClientPool",
+    "ProcClientPool",
+    "Stats",
+    "mean_confidence_interval",
+]

@@ -1,0 +1,130 @@
+"""Closed-loop clients generating the target system-wide load (§6).
+
+"Within a transaction, a client submits the next SQL statement
+immediately after receiving the previous one, but it sleeps between
+submitting two different transactions in order to achieve the desired
+system wide load."  With N clients and target load λ the think time is
+exponential with mean N/λ; below saturation the offered load is λ, and
+at saturation throughput flattens while response times climb — which is
+exactly the knee the figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.client import Driver
+from repro.core.baselines import ProcClient
+from repro.errors import DatabaseError
+from repro.workloads.spec import Workload
+from repro.workloads.stats import Stats
+
+
+class ClientPool:
+    """Drives a driver-compatible system (SI-Rep cluster or centralized)."""
+
+    def __init__(
+        self,
+        system,
+        workload: Workload,
+        n_clients: int,
+        target_tps: float,
+        duration: float,
+        warmup: float = 0.0,
+        seed_stream: str = "clients",
+    ):
+        self.system = system
+        self.sim = system.sim
+        self.workload = workload
+        self.n_clients = n_clients
+        self.target_tps = target_tps
+        self.duration = duration
+        self.stats = Stats(warmup=warmup)
+        self.driver = Driver(system.network, system.discovery)
+        self._rng = self.sim.rng(seed_stream)
+
+    @property
+    def mean_think(self) -> float:
+        return self.n_clients / self.target_tps
+
+    def start(self) -> None:
+        for index in range(self.n_clients):
+            self.sim.spawn(
+                self._client(index), name=f"wl-client-{index}", daemon=True
+            )
+
+    def run(self) -> Stats:
+        """Start the pool and run until the duration elapses."""
+        self.start()
+        self.sim.run(until=self.duration)
+        return self.stats
+
+    def _client(self, index: int) -> Generator[Any, Any, None]:
+        rng = self._rng
+        # stagger initial arrivals across one think period
+        yield self.sim.sleep(rng.random() * self.mean_think)
+        connection = yield from self.driver.connect(self.system.new_client_host())
+        while self.sim.now < self.duration:
+            yield self.sim.sleep(rng.expovariate(1.0 / self.mean_think))
+            template = self.workload.choose(rng)
+            params = template.make_params(rng)
+            category = "read-only" if template.readonly else "update"
+            started = self.sim.now
+            try:
+                for sql, sql_params in template.statements(params):
+                    yield from connection.execute(sql, sql_params)
+                yield from connection.commit()
+                self.stats.record_commit(category, self.sim.now - started, self.sim.now)
+            except DatabaseError:
+                self.stats.record_abort(category, self.sim.now)
+
+
+class ProcClientPool:
+    """Drives the [20] baseline with one procedure call per transaction."""
+
+    def __init__(
+        self,
+        system,
+        workload: Workload,
+        n_clients: int,
+        target_tps: float,
+        duration: float,
+        warmup: float = 0.0,
+    ):
+        self.system = system
+        self.sim = system.sim
+        self.workload = workload
+        self.n_clients = n_clients
+        self.target_tps = target_tps
+        self.duration = duration
+        self.stats = Stats(warmup=warmup)
+        self._rng = self.sim.rng("proc-clients")
+
+    @property
+    def mean_think(self) -> float:
+        return self.n_clients / self.target_tps
+
+    def run(self) -> Stats:
+        for index in range(self.n_clients):
+            self.sim.spawn(
+                self._client(index), name=f"proc-client-{index}", daemon=True
+            )
+        self.sim.run(until=self.duration)
+        return self.stats
+
+    def _client(self, index: int) -> Generator[Any, Any, None]:
+        rng = self._rng
+        yield self.sim.sleep(rng.random() * self.mean_think)
+        client = ProcClient(self.system, self.system.new_client_host())
+        yield from client.connect()
+        while self.sim.now < self.duration:
+            yield self.sim.sleep(rng.expovariate(1.0 / self.mean_think))
+            template = self.workload.choose(rng)
+            params = template.make_params(rng)
+            category = "read-only" if template.readonly else "update"
+            started = self.sim.now
+            try:
+                yield from client.call(template.name, params, readonly=template.readonly)
+                self.stats.record_commit(category, self.sim.now - started, self.sim.now)
+            except DatabaseError:
+                self.stats.record_abort(category, self.sim.now)

@@ -1,0 +1,79 @@
+"""Workload abstraction: transaction templates, mixes, data loaders.
+
+A :class:`TxnTemplate` carries both representations the evaluation needs:
+
+* the SQL statement list the SI-Rep driver submits one by one (the
+  transparent interface the paper advocates), and
+* the pre-declared table set the [20] baseline requires, making the
+  template directly registrable as a stored procedure there.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+Statements = list[tuple[str, tuple]]
+
+
+@dataclass(frozen=True)
+class TxnTemplate:
+    """One transaction program of a workload."""
+
+    name: str
+    tables: tuple[str, ...]
+    #: draw call parameters for one instance
+    make_params: Callable[[random.Random], tuple]
+    #: expand parameters into the SQL statements of the transaction
+    statements: Callable[[tuple], Statements]
+    readonly: bool = False
+    #: for the [20] baseline: narrow the declared lock set per instance
+    lock_tables: Optional[Callable[[tuple], tuple]] = None
+
+
+@dataclass
+class Workload:
+    """A schema, its initial data, and a weighted transaction mix."""
+
+    name: str
+    ddl: list[str]
+    #: table name -> list of row dicts (generated deterministically)
+    tables: dict[str, list[dict]]
+    mix: list[tuple[TxnTemplate, float]]
+
+    def choose(self, rng: random.Random) -> TxnTemplate:
+        total = sum(weight for _t, weight in self.mix)
+        point = rng.random() * total
+        acc = 0.0
+        for template, weight in self.mix:
+            acc += weight
+            if point <= acc:
+                return template
+        return self.mix[-1][0]
+
+    def install(self, system) -> None:
+        """Load schema + data into any system exposing load_schema/bulk_load."""
+        system.load_schema(self.ddl)
+        for table, rows in self.tables.items():
+            system.bulk_load(table, rows)
+
+    def procedures(self) -> dict:
+        """The same mix as [20]-style pre-declared procedures."""
+        from repro.core.baselines import Procedure
+
+        return {
+            template.name: Procedure(
+                name=template.name,
+                tables=template.tables,
+                statements=template.statements,
+                readonly=template.readonly,
+                lock_tables=template.lock_tables,
+            )
+            for template, _weight in self.mix
+        }
+
+    def update_fraction(self) -> float:
+        total = sum(weight for _t, weight in self.mix)
+        updates = sum(w for t, w in self.mix if not t.readonly)
+        return updates / total if total else 0.0

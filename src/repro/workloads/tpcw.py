@@ -1,0 +1,368 @@
+"""TPC-W bookstore, ordering mix (Fig. 5).
+
+The paper uses the TPC-W ordering mix — 50% update transactions, 50%
+read-only — with 1000 items and 40 emulated browsers (~200 MB database).
+We keep the 8-table schema, the 1000 items, and the 50/50 mix, and scale
+row counts so that a multi-load-point sweep stays tractable inside the
+simulator; the *relative* costs (many short queries, multi-statement
+updates) are what Fig. 5's shape depends on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.workloads.spec import TxnTemplate, Workload
+
+N_ITEMS = 1000
+N_CUSTOMERS = 288
+N_AUTHORS = 125
+N_ADDRESSES = 2 * N_CUSTOMERS
+N_COUNTRIES = 20
+N_ORDERS = 120
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+    "ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+    "YOUTH", "TRAVEL",
+]
+
+DDL = [
+    "CREATE TABLE country (co_id INT PRIMARY KEY, co_name TEXT)",
+    "CREATE TABLE address (addr_id INT PRIMARY KEY, addr_street TEXT, "
+    "addr_city TEXT, addr_co_id INT REFERENCES country)",
+    "CREATE TABLE customer (c_id INT PRIMARY KEY, c_uname TEXT, "
+    "c_addr_id INT REFERENCES address, c_balance FLOAT, c_ytd_pmt FLOAT, "
+    "c_expiration INT)",
+    "CREATE TABLE author (a_id INT PRIMARY KEY, a_lname TEXT)",
+    "CREATE TABLE item (i_id INT PRIMARY KEY, i_title TEXT, "
+    "i_a_id INT REFERENCES author, i_subject TEXT, i_cost FLOAT, "
+    "i_stock INT, i_total_sold INT)",
+    "CREATE TABLE orders (o_id INT PRIMARY KEY, "
+    "o_c_id INT REFERENCES customer, o_total FLOAT, o_status TEXT)",
+    "CREATE TABLE order_line (ol_id INT PRIMARY KEY, "
+    "ol_o_id INT REFERENCES orders, ol_i_id INT REFERENCES item, ol_qty INT)",
+    "CREATE TABLE cc_xacts (cx_id INT PRIMARY KEY, "
+    "cx_o_id INT REFERENCES orders, cx_amount FLOAT)",
+    "CREATE INDEX i_item_subject ON item (i_subject)",
+    "CREATE INDEX i_orders_cust ON orders (o_c_id)",
+    "CREATE INDEX i_ol_order ON order_line (ol_o_id)",
+    "CREATE INDEX i_cust_uname ON customer (c_uname)",
+]
+
+
+def generate_tables(seed: int = 1) -> dict[str, list[dict]]:
+    rng = random.Random(seed)
+    tables: dict[str, list[dict]] = {}
+    tables["country"] = [
+        {"co_id": i, "co_name": f"country-{i}"} for i in range(1, N_COUNTRIES + 1)
+    ]
+    tables["address"] = [
+        {
+            "addr_id": i,
+            "addr_street": f"street-{i}",
+            "addr_city": f"city-{i % 50}",
+            "addr_co_id": rng.randint(1, N_COUNTRIES),
+        }
+        for i in range(1, N_ADDRESSES + 1)
+    ]
+    tables["customer"] = [
+        {
+            "c_id": i,
+            "c_uname": f"user{i}",
+            "c_addr_id": rng.randint(1, N_ADDRESSES),
+            "c_balance": round(rng.uniform(-100, 1000), 2),
+            "c_ytd_pmt": round(rng.uniform(0, 5000), 2),
+            "c_expiration": rng.randint(2025, 2030),
+        }
+        for i in range(1, N_CUSTOMERS + 1)
+    ]
+    tables["author"] = [
+        {"a_id": i, "a_lname": f"author-{i}"} for i in range(1, N_AUTHORS + 1)
+    ]
+    tables["item"] = [
+        {
+            "i_id": i,
+            "i_title": f"title-{i}",
+            "i_a_id": rng.randint(1, N_AUTHORS),
+            "i_subject": rng.choice(SUBJECTS),
+            "i_cost": round(rng.uniform(1, 100), 2),
+            "i_stock": rng.randint(10, 30),
+            "i_total_sold": 0,
+        }
+        for i in range(1, N_ITEMS + 1)
+    ]
+    tables["orders"] = [
+        {
+            "o_id": i,
+            "o_c_id": rng.randint(1, N_CUSTOMERS),
+            "o_total": round(rng.uniform(10, 500), 2),
+            "o_status": "shipped",
+        }
+        for i in range(1, N_ORDERS + 1)
+    ]
+    order_lines = []
+    ol_id = 0
+    for o_id in range(1, N_ORDERS + 1):
+        for _ in range(rng.randint(1, 4)):
+            ol_id += 1
+            order_lines.append(
+                {
+                    "ol_id": ol_id,
+                    "ol_o_id": o_id,
+                    "ol_i_id": rng.randint(1, N_ITEMS),
+                    "ol_qty": rng.randint(1, 5),
+                }
+            )
+    tables["order_line"] = order_lines
+    tables["cc_xacts"] = [
+        {"cx_id": i, "cx_o_id": i, "cx_amount": round(rng.uniform(10, 500), 2)}
+        for i in range(1, N_ORDERS + 1)
+    ]
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# Transaction templates (web interactions of the ordering mix)
+# ---------------------------------------------------------------------------
+
+def _home_params(rng):
+    return (rng.randint(1, N_CUSTOMERS), rng.randint(1, N_ITEMS - 5))
+
+
+def _home_stmts(params):
+    c_id, i_id = params
+    return [
+        ("SELECT c_id, c_uname, c_balance FROM customer WHERE c_id = ?", (c_id,)),
+        (
+            "SELECT i_id, i_title, i_cost FROM item WHERE i_id IN (?, ?, ?, ?, ?)",
+            (i_id, i_id + 1, i_id + 2, i_id + 3, i_id + 4),
+        ),
+    ]
+
+
+def _detail_params(rng):
+    return (rng.randint(1, N_ITEMS),)
+
+
+def _detail_stmts(params):
+    return [
+        (
+            "SELECT i.i_title, i.i_cost, i.i_stock, a.a_lname FROM item i "
+            "JOIN author a ON i.i_a_id = a.a_id WHERE i.i_id = ?",
+            params,
+        )
+    ]
+
+
+def _search_params(rng):
+    return (rng.choice(SUBJECTS),)
+
+
+def _search_stmts(params):
+    return [
+        (
+            "SELECT i_id, i_title, i_cost FROM item WHERE i_subject = ? "
+            "ORDER BY i_title LIMIT 20",
+            params,
+        )
+    ]
+
+
+def _order_display_params(rng):
+    return (rng.randint(1, N_CUSTOMERS),)
+
+
+def _order_display_stmts(params):
+    return [
+        (
+            "SELECT o_id, o_total, o_status FROM orders WHERE o_c_id = ? "
+            "ORDER BY o_id DESC LIMIT 1",
+            params,
+        ),
+        (
+            "SELECT ol.ol_i_id, ol.ol_qty FROM orders o "
+            "JOIN order_line ol ON ol.ol_o_id = o.o_id WHERE o.o_c_id = ?",
+            params,
+        ),
+    ]
+
+
+def _best_sellers_params(rng):
+    return ()
+
+
+def _best_sellers_stmts(params):
+    return [
+        (
+            "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line "
+            "GROUP BY ol_i_id ORDER BY sold DESC LIMIT 10",
+            (),
+        )
+    ]
+
+
+def _buy_confirm_params(rng):
+    order_id = rng.randint(10_000_000, 999_999_999)
+    item_a = rng.randint(1, N_ITEMS)
+    item_b = rng.randint(1, N_ITEMS)
+    customer = rng.randint(1, N_CUSTOMERS)
+    total = round(rng.uniform(20, 300), 2)
+    return (order_id, customer, total, item_a, item_b)
+
+
+def _buy_confirm_stmts(params):
+    order_id, customer, total, item_a, item_b = params
+    return [
+        (
+            "INSERT INTO orders (o_id, o_c_id, o_total, o_status) "
+            "VALUES (?, ?, ?, 'pending')",
+            (order_id, customer, total),
+        ),
+        (
+            "INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty) "
+            "VALUES (?, ?, ?, 1), (?, ?, ?, 2)",
+            (order_id * 10 + 1, order_id, item_a, order_id * 10 + 2, order_id, item_b),
+        ),
+        (
+            "UPDATE item SET i_stock = i_stock - 1, i_total_sold = i_total_sold + 1 "
+            "WHERE i_id = ?",
+            (item_a,),
+        ),
+        (
+            "INSERT INTO cc_xacts (cx_id, cx_o_id, cx_amount) VALUES (?, ?, ?)",
+            (order_id, order_id, total),
+        ),
+        (
+            "UPDATE customer SET c_ytd_pmt = c_ytd_pmt + ? WHERE c_id = ?",
+            (total, customer),
+        ),
+    ]
+
+
+def _cart_params(rng):
+    return (rng.randint(1, N_ITEMS),)
+
+
+def _cart_stmts(params):
+    return [
+        ("SELECT i_title, i_cost, i_stock FROM item WHERE i_id = ?", params),
+        ("UPDATE item SET i_stock = i_stock - 1 WHERE i_id = ?", params),
+    ]
+
+
+def _register_params(rng):
+    uid = rng.randint(10_000_000, 999_999_999)
+    return (uid, rng.randint(1, N_COUNTRIES))
+
+
+def _register_stmts(params):
+    uid, country = params
+    return [
+        (
+            "INSERT INTO address (addr_id, addr_street, addr_city, addr_co_id) "
+            "VALUES (?, 'new street', 'new city', ?)",
+            (uid, country),
+        ),
+        (
+            "INSERT INTO customer (c_id, c_uname, c_addr_id, c_balance, "
+            "c_ytd_pmt, c_expiration) VALUES (?, ?, ?, 0.0, 0.0, 2030)",
+            (uid, f"user{uid}", uid),
+        ),
+    ]
+
+
+TEMPLATES = {
+    "home": TxnTemplate(
+        "home", ("customer", "item"), _home_params, _home_stmts, readonly=True
+    ),
+    "product_detail": TxnTemplate(
+        "product_detail", ("item", "author"), _detail_params, _detail_stmts,
+        readonly=True,
+    ),
+    "search_by_subject": TxnTemplate(
+        "search_by_subject", ("item",), _search_params, _search_stmts, readonly=True
+    ),
+    "order_display": TxnTemplate(
+        "order_display", ("orders", "order_line"), _order_display_params,
+        _order_display_stmts, readonly=True,
+    ),
+    "best_sellers": TxnTemplate(
+        "best_sellers", ("order_line",), _best_sellers_params,
+        _best_sellers_stmts, readonly=True,
+    ),
+    "buy_confirm": TxnTemplate(
+        "buy_confirm",
+        ("orders", "order_line", "item", "cc_xacts", "customer"),
+        _buy_confirm_params,
+        _buy_confirm_stmts,
+    ),
+    "cart_update": TxnTemplate(
+        "cart_update", ("item",), _cart_params, _cart_stmts
+    ),
+    "customer_registration": TxnTemplate(
+        "customer_registration", ("address", "customer"), _register_params,
+        _register_stmts,
+    ),
+}
+
+#: the ordering mix: 50% update transactions, 50% read-only (§6.1)
+ORDERING_MIX = [
+    (TEMPLATES["home"], 0.20),
+    (TEMPLATES["product_detail"], 0.12),
+    (TEMPLATES["search_by_subject"], 0.07),
+    (TEMPLATES["order_display"], 0.08),
+    (TEMPLATES["best_sellers"], 0.03),
+    (TEMPLATES["buy_confirm"], 0.25),
+    (TEMPLATES["cart_update"], 0.17),
+    (TEMPLATES["customer_registration"], 0.08),
+]
+
+#: TPC-W's shopping mix: ~20% updates
+SHOPPING_MIX = [
+    (TEMPLATES["home"], 0.29),
+    (TEMPLATES["product_detail"], 0.21),
+    (TEMPLATES["search_by_subject"], 0.16),
+    (TEMPLATES["order_display"], 0.09),
+    (TEMPLATES["best_sellers"], 0.05),
+    (TEMPLATES["buy_confirm"], 0.08),
+    (TEMPLATES["cart_update"], 0.09),
+    (TEMPLATES["customer_registration"], 0.03),
+]
+
+#: TPC-W's browsing mix: ~5% updates
+BROWSING_MIX = [
+    (TEMPLATES["home"], 0.35),
+    (TEMPLATES["product_detail"], 0.26),
+    (TEMPLATES["search_by_subject"], 0.20),
+    (TEMPLATES["order_display"], 0.09),
+    (TEMPLATES["best_sellers"], 0.05),
+    (TEMPLATES["buy_confirm"], 0.02),
+    (TEMPLATES["cart_update"], 0.02),
+    (TEMPLATES["customer_registration"], 0.01),
+]
+
+MIXES = {
+    "ordering": ORDERING_MIX,
+    "shopping": SHOPPING_MIX,
+    "browsing": BROWSING_MIX,
+}
+
+
+def make_workload(seed: int = 1, mix: str = "ordering") -> Workload:
+    """The TPC-W bookstore under one of the benchmark's three mixes.
+
+    The paper evaluates the *ordering* mix (50 % updates); shopping
+    (~20 %) and browsing (~5 %) are provided for mix-sensitivity
+    ablations — the more read-heavy the mix, the further replication
+    scales.
+    """
+    if mix not in MIXES:
+        raise ValueError(f"unknown TPC-W mix {mix!r}; pick from {sorted(MIXES)}")
+    return Workload(
+        name=f"tpcw-{mix}",
+        ddl=list(DDL),
+        tables=generate_tables(seed),
+        mix=list(MIXES[mix]),
+    )

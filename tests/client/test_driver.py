@@ -1,0 +1,147 @@
+"""Driver unit tests (connection management, result surface)."""
+
+import pytest
+
+from repro.client import Driver
+from repro.client.driver import QueryResult
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import ConnectionLost, NoReplicaAvailable
+
+
+def make_cluster(n=3, seed=1):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=n, seed=seed))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 10}])
+    return cluster, Driver(cluster.network, cluster.discovery)
+
+
+def test_query_result_scalar():
+    result = QueryResult(rows=[{"a": 5, "b": 6}], columns=("a", "b"), rowcount=1)
+    assert result.scalar() == 5
+    empty = QueryResult(rows=[], columns=(), rowcount=0)
+    assert empty.scalar() is None
+
+
+def test_connect_preferred_address():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R2")
+        return conn.address
+
+    assert sim.run_process(client()) == "R2"
+
+
+def test_connect_spreads_clients_across_replicas():
+    cluster, driver = make_cluster(n=3, seed=9)
+    sim = cluster.sim
+    addresses = []
+
+    def client(i):
+        conn = yield from driver.connect(cluster.new_client_host())
+        addresses.append(conn.address)
+
+    for i in range(30):
+        sim.spawn(client(i), name=f"c{i}")
+    sim.run()
+    assert len(set(addresses)) == 3  # all replicas got some clients
+
+
+def test_commit_without_transaction_is_noop():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.commit()  # nothing active: no-op, no error
+        yield from conn.rollback()
+        return True
+
+    assert sim.run_process(client()) is True
+
+
+def test_closed_connection_rejects_operations():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        conn.close()
+        with pytest.raises(ConnectionLost):
+            yield from conn.execute("SELECT 1 FROM kv")
+        return True
+
+    assert sim.run_process(client()) is True
+
+
+def test_in_transaction_flag_tracks_lifecycle():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        assert not conn.in_transaction
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        assert conn.in_transaction
+        yield from conn.commit()
+        assert not conn.in_transaction
+        yield from conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        yield from conn.rollback()
+        assert not conn.in_transaction
+        return True
+
+    assert sim.run_process(client()) is True
+
+
+def test_no_replica_available_when_all_down():
+    cluster, driver = make_cluster(n=2)
+    cluster.crash(0)
+    cluster.crash(1)
+    sim = cluster.sim
+
+    def client():
+        with pytest.raises(NoReplicaAvailable):
+            yield from driver.connect(cluster.new_client_host())
+        return True
+
+    assert sim.run_process(client()) is True
+
+
+def test_prepared_statement():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        stmt = conn.prepare("SELECT v FROM kv WHERE k = ?")
+        first = yield from stmt.execute((1,))
+        yield from conn.commit()
+        update = conn.prepare("UPDATE kv SET v = ? WHERE k = ?")
+        yield from update.execute((5, 1))
+        yield from conn.commit()
+        second = yield from stmt.execute((1,))
+        yield from conn.commit()
+        return first.rows, second.rows
+
+    first, second = sim.run_process(client())
+    assert first == [{"v": 10}]
+    assert second == [{"v": 5}]
+
+
+def test_rows_and_rowcount_surface():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        result = yield from conn.execute("SELECT k, v FROM kv")
+        assert result.rowcount == 1
+        assert result.columns == ("k", "v")
+        update = yield from conn.execute("UPDATE kv SET v = 2 WHERE k = 1")
+        assert update.rowcount == 1
+        assert update.rows is None
+        yield from conn.commit()
+        return True
+
+    assert sim.run_process(client()) is True

@@ -1,0 +1,119 @@
+"""The §4.2 "hidden deadlock": a cycle spanning middleware and database.
+
+Setup at replica Rk (locking database):
+
+* local Ti holds the row lock on x (still executing);
+* local Tj holds the row lock on y (still executing);
+* remote Tr (WS = {y}) was validated and queued; applying it blocks on
+  Tj's lock;
+* Ti finishes, validates fine (no overlap with Tr) and is queued behind
+  Tr; with strictly serial queues its commit waits for Tr;
+* Tj now requests x, held by Ti.
+
+The database sees no cycle (Tj -> Ti, Tr -> Tj); the middleware adds
+Ti -> Tr — a deadlock invisible to both layers.  Adjustment 2 (commit
+any entry with no conflicting predecessor) breaks it: Ti commits at
+once, releasing x; Tj fails its version check and aborts; Tr proceeds.
+"""
+
+import pytest
+
+from repro.core.replica import ReplicaManager, ReplicaNode
+from repro.core.tocommit import Entry
+from repro.core.validation import WsRecord
+from repro.errors import SerializationFailure
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import run_txn
+
+
+def setup(strict_serial):
+    sim = Simulator(seed=1)
+    db = Database(sim, name="Rk")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE t (k TEXT PRIMARY KEY, v INT)",),
+            ("INSERT INTO t (k, v) VALUES ('x', 0), ('y', 0)",),
+        ],
+    )
+    manager = ReplicaManager(
+        sim, ReplicaNode("Rk", db), strict_serial=strict_serial, hole_sync=False
+    )
+    return sim, db, manager
+
+
+def drive_scenario(sim, db, manager):
+    """Returns a dict of what happened; runs for 20 virtual seconds."""
+    log = {}
+
+    ti = db.begin(gid="Ti")
+    tj = db.begin(gid="Tj")
+
+    def ti_proc():
+        # Ti grabs the lock on x and keeps executing
+        yield from db.execute(ti, "UPDATE t SET v = 1 WHERE k = 'x'")
+        yield sim.sleep(1.0)
+        # Ti finishes; middleware validates it (no overlap with Tr) and
+        # queues it behind Tr.
+        record = WsRecord("Ti", db.get_writeset(ti), cert=1)
+        record.tid = 2
+        entry = Entry(record, local_txn=ti)
+        manager.enqueue(entry)
+        yield entry.done.wait()
+        log["Ti_committed_at"] = sim.now
+
+    def tj_proc():
+        # Tj grabs the lock on y...
+        yield from db.execute(tj, "UPDATE t SET v = 1 WHERE k = 'y'")
+        yield sim.sleep(2.0)
+        try:
+            # ...then requests x, held by Ti
+            yield from db.execute(tj, "UPDATE t SET v = 2 WHERE k = 'x'")
+            log["Tj"] = "proceeded"
+        except SerializationFailure:
+            log["Tj"] = "aborted"
+            log["Tj_aborted_at"] = sim.now
+
+    def tr_proc():
+        # remote Tr validated first (tid 1); its writeset hits y
+        yield sim.sleep(0.5)
+        from repro.storage.writeset import UPDATE, WriteOp, WriteSet
+
+        ws = WriteSet([WriteOp("t", "y", UPDATE, {"k": "y", "v": 99})])
+        record = WsRecord("Tr", ws, cert=0)
+        record.tid = 1
+        entry = Entry(record, local_txn=None)
+        manager.enqueue(entry)
+        yield entry.done.wait()
+        log["Tr_committed_at"] = sim.now
+
+    sim.spawn(ti_proc(), name="Ti", daemon=True)
+    sim.spawn(tj_proc(), name="Tj", daemon=True)
+    sim.spawn(tr_proc(), name="Tr", daemon=True)
+    sim.run(until=20.0)
+    return log
+
+
+def test_strict_serial_queue_hits_the_hidden_deadlock():
+    sim, db, manager = setup(strict_serial=True)
+    log = drive_scenario(sim, db, manager)
+    # nothing can make progress: Tr blocked on Tj's lock, Tj blocked on
+    # Ti's lock, Ti's commit queued behind Tr
+    assert "Ti_committed_at" not in log
+    assert "Tr_committed_at" not in log
+    assert "Tj" not in log
+
+
+def test_adjustment2_breaks_the_hidden_deadlock():
+    sim, db, manager = setup(strict_serial=False)
+    log = drive_scenario(sim, db, manager)
+    # Ti committed immediately after validation (no conflicting
+    # predecessor), Tj failed its version check on x, Tr then applied.
+    assert log["Ti_committed_at"] == pytest.approx(1.0)
+    assert log["Tj"] == "aborted"
+    assert log["Tr_committed_at"] >= log["Tj_aborted_at"]
+    from repro.testing import query
+
+    assert query(sim, db, "SELECT v FROM t WHERE k = 'y'") == [{"v": 99}]
+    assert query(sim, db, "SELECT v FROM t WHERE k = 'x'") == [{"v": 1}]

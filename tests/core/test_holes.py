@@ -1,0 +1,86 @@
+"""HoleTracker unit and property tests (adjustment 3 bookkeeping)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.holes import HoleTracker
+
+
+def test_no_holes_initially():
+    tracker = HoleTracker()
+    assert not tracker.has_holes()
+    assert tracker.min_pending() is None
+
+
+def test_in_order_commits_never_create_holes():
+    tracker = HoleTracker()
+    for tid in (1, 2, 3):
+        tracker.register(tid)
+    for tid in (1, 2, 3):
+        assert not tracker.creates_new_hole(tid) or tid != tracker.min_pending()
+        tracker.mark_committed(tid)
+        assert not tracker.has_holes()
+
+
+def test_out_of_order_commit_creates_hole_then_closes():
+    tracker = HoleTracker()
+    tracker.register(1)
+    tracker.register(2)
+    assert tracker.creates_new_hole(2)
+    tracker.mark_committed(2)
+    assert tracker.has_holes()  # tid 1 is uncommitted behind committed 2
+    tracker.mark_committed(1)
+    assert not tracker.has_holes()
+
+
+def test_creates_new_hole_is_false_for_min_pending():
+    tracker = HoleTracker()
+    tracker.register(5)
+    tracker.register(7)
+    assert not tracker.creates_new_hole(5)
+    assert tracker.creates_new_hole(7)
+
+
+def test_hole_persists_until_all_smaller_committed():
+    tracker = HoleTracker()
+    for tid in (1, 2, 3, 4):
+        tracker.register(tid)
+    tracker.mark_committed(4)
+    tracker.mark_committed(2)
+    assert tracker.has_holes()
+    tracker.mark_committed(1)
+    assert tracker.has_holes()  # 3 still uncommitted behind 4
+    tracker.mark_committed(3)
+    assert not tracker.has_holes()
+
+
+def test_statistics():
+    tracker = HoleTracker()
+    tracker.note_start_attempt(False)
+    tracker.note_start_attempt(True)
+    tracker.note_start_attempt(False)
+    tracker.note_start_attempt(True)
+    assert tracker.start_attempts == 4
+    assert tracker.start_waits == 2
+    assert tracker.hole_wait_fraction == 0.5
+
+
+def test_hole_wait_fraction_zero_without_attempts():
+    assert HoleTracker().hole_wait_fraction == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.permutations(list(range(1, 9))))
+def test_property_holes_iff_commit_order_disagrees_with_tid_order(order):
+    """After committing a prefix in arbitrary order, holes exist iff some
+    committed tid exceeds some uncommitted tid."""
+    tracker = HoleTracker()
+    for tid in range(1, 9):
+        tracker.register(tid)
+    committed = set()
+    for tid in order:
+        tracker.mark_committed(tid)
+        committed.add(tid)
+        uncommitted = set(range(1, 9)) - committed
+        expected = bool(uncommitted) and max(committed) > min(uncommitted)
+        assert tracker.has_holes() == expected

@@ -1,0 +1,46 @@
+"""Wire protocol marshalling tests."""
+
+from repro.core import protocol
+from repro import errors
+
+
+def test_marshal_unmarshal_known_error():
+    err = errors.SerializationFailure("row updated concurrently")
+    info = protocol.marshal_error(err)
+    assert info == ("SerializationFailure", "row updated concurrently")
+    back = protocol.unmarshal_error(info)
+    assert isinstance(back, errors.SerializationFailure)
+    assert str(back) == "row updated concurrently"
+
+
+def test_unmarshal_unknown_error_falls_back_to_database_error():
+    back = protocol.unmarshal_error(("SomethingWeird", "boom"))
+    assert isinstance(back, errors.DatabaseError)
+    assert str(back) == "boom"
+
+
+def test_marshal_non_repro_exception():
+    info = protocol.marshal_error(ValueError("v"))
+    back = protocol.unmarshal_error(info)
+    assert isinstance(back, errors.DatabaseError)
+
+
+def test_error_hierarchy_is_preserved():
+    back = protocol.unmarshal_error(("DeadlockDetected", "cycle"))
+    assert isinstance(back, errors.TransactionAborted)
+    assert isinstance(back, errors.DatabaseError)
+
+
+def test_requests_are_frozen_dataclasses():
+    req = protocol.ExecuteReq(1, "SELECT 1", ())
+    try:
+        req.sql = "other"  # type: ignore[misc]
+        raised = False
+    except Exception:
+        raised = True
+    assert raised
+
+
+def test_outcome_constants():
+    assert protocol.COMMITTED == "committed"
+    assert protocol.ABORTED == "aborted"

@@ -1,0 +1,63 @@
+"""To-commit queue unit tests."""
+
+import pytest
+
+from repro.core.tocommit import Entry, ToCommitQueue
+from repro.core.validation import WsRecord
+from repro.storage.writeset import UPDATE, WriteOp, WriteSet
+
+
+def ws(*keys):
+    return WriteSet([WriteOp("t", k, UPDATE, {"k": k}) for k in keys])
+
+
+def entry(gid, tid, *keys, local=False):
+    record = WsRecord(gid, ws(*keys), cert=0)
+    record.tid = tid
+    return Entry(record, local_txn=object() if local else None)
+
+
+def test_append_remove_and_len():
+    queue = ToCommitQueue()
+    e1, e2 = entry("a", 1, 1), entry("b", 2, 2)
+    queue.append(e1)
+    queue.append(e2)
+    assert len(queue) == 2
+    assert queue.head() is e1
+    queue.remove(e1)
+    assert queue.head() is e2
+    assert queue.appended_total == 2
+
+
+def test_conflicting_predecessor_found_in_order():
+    queue = ToCommitQueue()
+    e1 = entry("a", 1, 1, 2)
+    e2 = entry("b", 2, 3)
+    e3 = entry("c", 3, 2, 3)
+    for e in (e1, e2, e3):
+        queue.append(e)
+    assert queue.conflicting_predecessor(e1) is None
+    assert queue.conflicting_predecessor(e2) is None
+    assert queue.conflicting_predecessor(e3) is e1  # earliest conflict wins
+
+
+def test_conflicting_predecessor_requires_membership():
+    queue = ToCommitQueue()
+    with pytest.raises(ValueError):
+        queue.conflicting_predecessor(entry("x", 9, 1))
+
+
+def test_overlaps_for_local_validation():
+    queue = ToCommitQueue()
+    queue.append(entry("a", 1, 1, 2))
+    assert queue.overlaps(ws(2))
+    assert not queue.overlaps(ws(5))
+
+
+def test_entry_properties():
+    local = entry("a", 1, 1, local=True)
+    remote = entry("b", 2, 2)
+    assert local.is_local and not remote.is_local
+    assert local.tid == 1
+    assert local.gid == "a"
+    assert not local.done.is_set

@@ -1,0 +1,77 @@
+"""Certifier unit tests (optimistic writeset validation)."""
+
+from repro.core.validation import Certifier, WsRecord
+from repro.storage.writeset import UPDATE, WriteOp, WriteSet
+
+
+def ws(*keys):
+    return WriteSet([WriteOp("t", k, UPDATE, {"k": k}) for k in keys])
+
+
+def test_first_writeset_always_validates():
+    certifier = Certifier()
+    record = WsRecord("g1", ws(1), cert=0)
+    assert certifier.validate(record)
+    assert record.tid == 1
+    assert certifier.last_validated_tid == 1
+
+
+def test_concurrent_conflicting_writeset_rejected():
+    certifier = Certifier()
+    assert certifier.validate(WsRecord("g1", ws(1, 2), cert=0))
+    # g2 was concurrent (cert=0 predates g1's tid=1) and overlaps on key 2.
+    record = WsRecord("g2", ws(2, 3), cert=0)
+    assert not certifier.validate(record)
+    assert record.tid is None
+    assert certifier.rejected == 1
+
+
+def test_non_overlapping_concurrent_writesets_both_pass():
+    certifier = Certifier()
+    assert certifier.validate(WsRecord("g1", ws(1), cert=0))
+    assert certifier.validate(WsRecord("g2", ws(2), cert=0))
+    assert certifier.last_validated_tid == 2
+
+
+def test_successor_with_fresh_cert_passes_over_same_keys():
+    certifier = Certifier()
+    assert certifier.validate(WsRecord("g1", ws(1), cert=0))
+    # g2 saw g1 (cert=1): not concurrent, same key is fine.
+    assert certifier.validate(WsRecord("g2", ws(1), cert=1))
+
+
+def test_cert_partially_stale_still_conflicts():
+    certifier = Certifier()
+    assert certifier.validate(WsRecord("g1", ws(1), cert=0))  # tid 1
+    assert certifier.validate(WsRecord("g2", ws(2), cert=1))  # tid 2
+    # g3 saw g1 but not g2; conflicts with g2 on key 2.
+    assert not certifier.validate(WsRecord("g3", ws(2), cert=1))
+    # but a key-1 writer with cert=1 is fine.
+    assert certifier.validate(WsRecord("g4", ws(1), cert=1))
+
+
+def test_rejected_writeset_leaves_no_trace():
+    certifier = Certifier()
+    assert certifier.validate(WsRecord("g1", ws(1), cert=0))
+    assert not certifier.validate(WsRecord("g2", ws(1, 5), cert=0))
+    # key 5 was not certified by the failed g2: a later writer of key 5
+    # with an old cert must still pass.
+    assert certifier.validate(WsRecord("g3", ws(5), cert=0))
+
+
+def test_conflicts_is_pure():
+    certifier = Certifier()
+    certifier.validate(WsRecord("g1", ws(1), cert=0))
+    probe = WsRecord("g2", ws(1), cert=0)
+    assert certifier.conflicts(probe)
+    assert certifier.conflicts(probe)  # unchanged
+    assert certifier.last_validated_tid == 1
+
+
+def test_decisions_counter():
+    certifier = Certifier()
+    certifier.validate(WsRecord("g1", ws(1), cert=0))
+    certifier.validate(WsRecord("g2", ws(1), cert=0))
+    assert certifier.decisions == 2
+    assert certifier.validated == 1
+    assert certifier.rejected == 1

@@ -1,0 +1,58 @@
+"""Discovery service tests."""
+
+from repro.gcs import DiscoveryService
+from repro.sim import Simulator
+
+
+def discover(sim, service):
+    return sim.run_process(service.discover())
+
+
+def test_empty_discovery():
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    assert discover(sim, service) == []
+
+
+def test_register_and_discover():
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    service.register("a")
+    service.register("b")
+    assert sorted(discover(sim, service)) == ["a", "b"]
+
+
+def test_unregister():
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    service.register("a")
+    service.register("b")
+    service.unregister("a")
+    service.unregister("missing")  # no-op
+    assert discover(sim, service) == ["b"]
+
+
+def test_overloaded_replica_declines():
+    """'Replicas that are able to handle additional workload respond.'"""
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    load = {"busy": True}
+    service.register("a", accepts_load=lambda: not load["busy"])
+    service.register("b")
+    assert discover(sim, service) == ["b"]
+    load["busy"] = False
+    assert sorted(discover(sim, service)) == ["a", "b"]
+
+
+def test_discovery_costs_a_round_trip():
+    sim = Simulator()
+    service = DiscoveryService(sim, round_trip=0.005)
+    service.register("a")
+
+    def proc():
+        addresses = yield from service.discover()
+        return addresses, sim.now
+
+    addresses, at = sim.run_process(proc())
+    assert addresses == ["a"]
+    assert at == 0.005

@@ -1,0 +1,138 @@
+"""GCS stress and edge cases: multiple crashes, late joins, high rates."""
+
+from repro.gcs import GcsConfig, GroupBus, Message, ViewChange
+from repro.sim import Simulator
+
+
+def collect(sim, member, out):
+    def loop():
+        while True:
+            item = yield member.deliver()
+            out.append(item)
+
+    sim.spawn(loop(), name=f"collect-{member.member_id}", daemon=True)
+
+
+def payloads(items):
+    return [it.payload for it in items if isinstance(it, Message)]
+
+
+def test_two_crashes_in_quick_succession():
+    sim = Simulator(seed=1)
+    bus = GroupBus(sim, config=GcsConfig(crash_detection=0.3))
+    members = [bus.join(f"m{i}") for i in range(4)]
+    out = []
+    collect(sim, members[0], out)
+
+    def scenario():
+        yield sim.sleep(1.0)
+        members[1].multicast("before")
+        yield sim.sleep(0.1)
+        bus.crash("m2")
+        bus.crash("m3")
+        yield sim.sleep(0.05)
+        members[1].multicast("between")
+        yield sim.sleep(2.0)
+        members[1].multicast("after")
+        yield sim.sleep(1.0)
+
+    sim.run_process(scenario())
+    views = [it for it in out if isinstance(it, ViewChange) and it.crashed]
+    assert len(views) == 2
+    assert {v.crashed[0] for v in views} == {"m2", "m3"}
+    # final view has only the survivors
+    assert views[-1].members in (("m0", "m1"),)
+    assert payloads(out) == ["before", "between", "after"]
+
+
+def test_total_order_preserved_across_crash():
+    sim = Simulator(seed=2)
+    bus = GroupBus(sim)
+    members = [bus.join(f"m{i}") for i in range(3)]
+    outs = [[], []]
+    collect(sim, members[0], outs[0])
+    collect(sim, members[1], outs[1])
+
+    def sender(member, tag, n, delay):
+        yield sim.sleep(delay)
+        for i in range(n):
+            if member.alive:
+                member.multicast(f"{tag}{i}")
+            yield sim.sleep(0.002)
+
+    sim.spawn(sender(members[0], "a", 50, 0.0), name="s0")
+    sim.spawn(sender(members[1], "b", 50, 0.001), name="s1")
+    sim.spawn(sender(members[2], "c", 50, 0.0015), name="s2")
+    sim.call_at(0.05, lambda: bus.crash("m2"))
+    sim.run()
+    seq0, seq1 = payloads(outs[0]), payloads(outs[1])
+    assert seq0 == seq1
+    assert len(seq0) > 80  # most messages survived
+
+
+def test_late_join_sees_suffix_only():
+    sim = Simulator(seed=3)
+    bus = GroupBus(sim)
+    m0 = bus.join("m0")
+    out_new = []
+
+    def scenario():
+        yield sim.sleep(0.5)
+        m0.multicast("early")
+        yield sim.sleep(0.5)
+        late = bus.join("late")
+        collect(sim, late, out_new)
+        yield sim.sleep(0.5)
+        m0.multicast("late-era")
+        yield sim.sleep(1.0)
+
+    sim.run_process(scenario())
+    assert payloads(out_new) == ["late-era"]
+
+
+def test_hundreds_of_messages_per_second_stay_ordered_and_fast():
+    sim = Simulator(seed=4)
+    bus = GroupBus(sim)
+    members = [bus.join(f"m{i}") for i in range(5)]
+    received = []
+
+    def receiver():
+        while True:
+            item = yield members[3].deliver()
+            if isinstance(item, Message):
+                received.append((item.seq, sim.now - item.payload))
+
+    sim.spawn(receiver(), name="recv", daemon=True)
+
+    def sender(member, offset):
+        yield sim.sleep(offset)
+        for _ in range(200):
+            member.multicast(sim.now)
+            yield sim.sleep(0.005)  # 200/s per sender => 600/s total
+
+    for i in range(3):
+        sim.spawn(sender(members[i], i * 0.001), name=f"s{i}")
+    sim.run()
+    assert len(received) == 600
+    seqs = [seq for seq, _lat in received]
+    assert seqs == sorted(seqs)
+    worst = max(lat for _seq, lat in received)
+    assert worst <= 0.003  # the paper's <=3 ms LAN envelope
+
+
+def test_delivered_count_accounting():
+    sim = Simulator(seed=5)
+    bus = GroupBus(sim)
+    members = [bus.join(f"m{i}") for i in range(2)]
+    drained = []
+    for member in members:
+        collect(sim, member, drained)
+
+    def scenario():
+        yield sim.sleep(0.1)
+        members[0].multicast("x")
+        yield sim.sleep(1.0)
+
+    sim.run_process(scenario())
+    # 2 join views (first seen by 1 member, second by 2) + 1 msg to 2
+    assert bus.delivered_count == 1 + 2 + 2

@@ -1,0 +1,95 @@
+"""Crash fuzzing: random crash/recovery points under load must never
+break convergence or the 1-copy-SI audit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import DatabaseError
+from repro.testing import query
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    crash_at=st.floats(min_value=0.1, max_value=1.5),
+    victim=st.integers(min_value=0, max_value=2),
+    recover=st.booleans(),
+)
+def test_random_crash_points_preserve_consistency(seed, crash_at, victim, recover):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=seed))
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 7)])
+    driver = Driver(cluster.network, cluster.discovery)
+    rng = sim.rng("fuzz")
+    committed = [0]
+
+    def client(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        for i in range(25):
+            yield sim.sleep(0.02 + rng.random() * 0.05)
+            try:
+                yield from conn.execute(
+                    "UPDATE kv SET v = ? WHERE k = ?",
+                    (cid * 100 + i, rng.randint(1, 6)),
+                )
+                yield from conn.commit()
+                committed[0] += 1
+            except DatabaseError:
+                pass
+
+    for cid in range(5):
+        sim.spawn(client(cid), name=f"c{cid}")
+    sim.call_at(crash_at, lambda: cluster.crash(victim))
+    if recover:
+        sim.call_at(crash_at + 1.0, lambda: cluster.recover_replica(victim))
+    sim.run()
+    sim.run(until=sim.now + 6.0)
+
+    assert committed[0] > 20
+    report = cluster.one_copy_report()
+    assert report.ok, [str(v) for v in report.violations]
+    states = {
+        tuple(
+            (r["k"], r["v"])
+            for r in query(sim, rep.node.db, "SELECT k, v FROM kv ORDER BY k")
+        )
+        for rep in cluster.alive_replicas()
+    }
+    assert len(states) == 1
+    expected_alive = 3 if recover else 2
+    assert len(cluster.alive_replicas()) == expected_alive
+
+
+def test_metrics_snapshot():
+    cluster = SIRepCluster(ClusterConfig(n_replicas=2, seed=3))
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    driver = Driver(cluster.network, cluster.discovery)
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        yield from conn.commit()
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+
+    sim.run_process(client())
+    sim.run(until=sim.now + 2.0)
+    metrics = cluster.metrics()
+    assert metrics["commits"] == 2
+    assert metrics["certification_aborts"] == 0
+    assert metrics["gcs_deliveries"] > 0
+    assert set(metrics["replicas"]) == {"R0", "R1"}
+    total_update_commits = sum(
+        r["update_commits"] for r in metrics["replicas"].values()
+    )
+    assert total_update_commits == 1
+    for data in metrics["replicas"].values():
+        assert data["alive"] is True
+        assert data["db_commits"] >= 1
+        assert data["db_versions"] >= 1

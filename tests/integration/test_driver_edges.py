@@ -1,0 +1,98 @@
+"""Driver edge paths: rollback across a crash, autocommit failure, and
+report string rendering."""
+
+import pytest
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import TransactionAborted
+from repro.si import Schedule, TxnSpec, check_one_copy_si
+
+
+def make_cluster(n=3, seed=1):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=n, seed=seed))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    return cluster, Driver(cluster.network, cluster.discovery)
+
+
+def test_rollback_during_crash_reconnects_silently():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        cluster.crash(0)
+        # rollback of a transaction that died with its replica: no error,
+        # the connection is re-established
+        yield from conn.rollback()
+        assert not conn.in_transaction
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        return result.rows, conn.address
+
+    rows, address = sim.run_process(client())
+    assert rows == [{"v": 0}]
+    assert address != "R0"
+
+
+def test_autocommit_conflict_surfaces_as_exception():
+    cluster, driver = make_cluster(seed=2)
+    sim = cluster.sim
+    outcomes = []
+
+    def client(address):
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        conn.autocommit = True
+        try:
+            yield from conn.execute("UPDATE kv SET v = v + 1 WHERE k = 1")
+            outcomes.append("ok")
+        except TransactionAborted:
+            outcomes.append("aborted")
+
+    sim.spawn(client("R0"), name="a")
+    sim.spawn(client("R1"), name="b")
+    sim.run()
+    assert sorted(outcomes) == ["aborted", "ok"]
+
+
+def test_one_copy_report_str_rendering():
+    t1 = TxnSpec("1", frozenset(), frozenset({"x"}))
+    t2 = TxnSpec("2", frozenset(), frozenset({"x"}))
+    ok = check_one_copy_si(
+        {"R": Schedule.from_string("b1 c1 b2 c2", [t1, t2])},
+        locality={"1": "R", "2": "R"},
+    )
+    assert "OK" in str(ok)
+    assert "witness" in str(ok)
+    bad = check_one_copy_si(
+        {
+            "R1": Schedule.from_string("b1 c1 b2 c2", [t1, t2]),
+            "R2": Schedule.from_string("b2 c2 b1 c1", [t1, t2]),
+        },
+        locality={"1": "R1", "2": "R2"},
+    )
+    assert "VIOLATED" in str(bad)
+
+
+def test_kill_inside_resource_releases_server():
+    from repro.sim import Resource, Simulator
+
+    sim = Simulator()
+    cpu = Resource(sim, "cpu", servers=1)
+    done = []
+
+    def holder():
+        yield from cpu.use(100.0)
+
+    def waiter():
+        yield from cpu.use(1.0)
+        done.append(sim.now)
+
+    victim = sim.spawn(holder(), name="holder")
+    sim.spawn(waiter(), name="waiter")
+    sim.run(until=1.0)
+    victim.kill()  # finally clause releases the server
+    sim.run()
+    assert done and done[0] == pytest.approx(2.0)

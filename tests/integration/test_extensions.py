@@ -1,0 +1,141 @@
+"""Extensions beyond the base protocol: load-aware discovery (§8) and
+session consistency across failovers (§3's assignment rule)."""
+
+import pytest
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.core.srca_rep import MiddlewareReplica
+from repro.testing import query
+
+
+def make_cluster(n=3, seed=1, **config_kwargs):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=n, seed=seed, **config_kwargs))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 4)])
+    return cluster, Driver(cluster.network, cluster.discovery)
+
+
+# -- load-aware discovery -------------------------------------------------------
+
+
+def test_replica_at_session_cap_declines_discovery():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+    # cap R0 at 1 session
+    cluster.replicas[0].max_sessions = 1
+    addresses = []
+
+    def client(i):
+        yield sim.sleep(i * 0.1)  # stagger so session counts are visible
+        conn = yield from driver.connect(cluster.new_client_host())
+        # a session only counts once it has spoken to the middleware
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        addresses.append(conn.address)
+        yield sim.sleep(10.0)  # hold the session open
+
+    for i in range(12):
+        sim.spawn(client(i), name=f"c{i}")
+    sim.run(until=5.0)
+    assert addresses.count("R0") <= 1
+    assert len(addresses) == 12  # everyone got served somewhere
+
+
+def test_active_session_count_tracks_connections():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+    replica = cluster.replicas[1]
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R1")
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        yield sim.sleep(1.0)
+        conn.close()
+
+    sim.spawn(client(), name="c")
+    sim.run(until=0.5)
+    assert replica.active_sessions == 1
+    sim.run()
+    sim.run(until=sim.now + 1.0)
+    assert replica.active_sessions == 0
+
+
+# -- session consistency across failover ------------------------------------------
+
+
+def test_client_reads_own_writes_after_failover():
+    """The client's last update must be visible on the replica it fails
+    over to, even if that replica is applying writesets slowly."""
+    from repro.storage.engine import CostModel
+
+    class SlowApply(CostModel):
+        def statement(self, kind, a, b, c):
+            return (0.0, 0.0)
+
+        def writeset_apply(self, n):
+            return (1.0, 0.0)  # remote application takes a full second
+
+        def commit(self, n):
+            return (0.0, 0.0)
+
+    cluster, driver = make_cluster(seed=2, cost_model=lambda _i: SlowApply())
+    sim = cluster.sim
+    observed = {}
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 77 WHERE k = 1")
+        yield from conn.commit()  # commits at R0; remote applies take ~1s
+        cluster.crash(0)
+        # next statement fails over; without session consistency it could
+        # read v=0 from a replica that has not applied the writeset yet
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        observed["value"] = result.rows[0]["v"]
+        observed["waited_until"] = sim.now
+
+    sim.spawn(client(), name="client")
+    sim.run()
+    sim.run(until=sim.now + 3.0)
+    assert observed["value"] == 77
+    # the read was delayed until the writeset applied (~1s in)
+    assert observed["waited_until"] >= 0.9
+
+
+def test_failover_after_readonly_txn_does_not_wait():
+    cluster, driver = make_cluster(seed=3)
+    sim = cluster.sim
+    times = {}
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()  # read-only: not replicated
+        cluster.crash(0)
+        start = sim.now
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        times["latency"] = sim.now - start
+
+    sim.spawn(client(), name="client")
+    sim.run()
+    assert times["latency"] < 0.1  # no session-consistency wait needed
+
+
+def test_session_consistency_marker_cleared_after_one_statement():
+    cluster, driver = make_cluster(seed=4)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("UPDATE kv SET v = 5 WHERE k = 1")
+        yield from conn.commit()
+        cluster.crash(0)
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        assert conn._resync_gid is None  # consumed by the first statement
+        yield from conn.commit()
+        return True
+
+    assert sim.run_process(client()) is True

@@ -1,0 +1,122 @@
+"""Soak test: long mixed run with crashes and recoveries, audited.
+
+Twenty clients run a mixed read/write workload against a 4-replica
+cluster while one replica crashes and later rejoins online.  At the end:
+
+* every continuously-alive replica passed the 1-copy-SI audit,
+* all alive replicas (including the recovered one) converged bytewise,
+* throughput never stopped for longer than the failover window.
+"""
+
+import pytest
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import DatabaseError
+from repro.testing import query
+
+N_ROWS = 12
+
+
+def test_soak_with_crash_and_recovery():
+    cluster = SIRepCluster(ClusterConfig(n_replicas=4, seed=99))
+    sim = cluster.sim
+    cluster.load_schema(
+        ["CREATE TABLE kv (k INT PRIMARY KEY, v INT, writer TEXT)"]
+    )
+    cluster.bulk_load(
+        "kv", [{"k": k, "v": 0, "writer": "init"} for k in range(1, N_ROWS + 1)]
+    )
+    driver = Driver(cluster.network, cluster.discovery)
+    rng = sim.rng("soak")
+    commits = []
+    aborts = [0]
+
+    def client(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        for i in range(60):
+            yield sim.sleep(0.02 + rng.random() * 0.06)
+            try:
+                if rng.random() < 0.35:
+                    yield from conn.execute("SELECT k, v FROM kv ORDER BY k")
+                    yield from conn.commit()
+                else:
+                    key = rng.randint(1, N_ROWS)
+                    yield from conn.execute(
+                        "UPDATE kv SET v = v + 1, writer = ? WHERE k = ?",
+                        (f"c{cid}", key),
+                    )
+                    yield from conn.commit()
+                commits.append(sim.now)
+            except DatabaseError:
+                aborts[0] += 1
+
+    for cid in range(20):
+        sim.spawn(client(cid), name=f"c{cid}")
+
+    sim.call_at(1.0, lambda: cluster.crash(2))
+    sim.call_at(2.5, lambda: cluster.recover_replica(2))
+    sim.run()
+    sim.run(until=sim.now + 6.0)
+
+    assert len(commits) > 600
+    # some conflict aborts are expected with 20 writers on 12 rows
+    assert aborts[0] < len(commits)
+
+    # 1-copy-SI over the continuously-alive replicas
+    report = cluster.one_copy_report()
+    assert report.ok, [str(v) for v in report.violations]
+
+    # every alive replica (incl. the recovered one) converged
+    states = {
+        replica.name: tuple(
+            (r["k"], r["v"], r["writer"])
+            for r in query(
+                sim, replica.node.db, "SELECT k, v, writer FROM kv ORDER BY k"
+            )
+        )
+        for replica in cluster.alive_replicas()
+    }
+    assert len(states) == 4
+    assert len(set(states.values())) == 1
+
+    # commits kept flowing: largest gap bounded by the crash-detection
+    # window plus a little slack
+    gaps = [b - a for a, b in zip(commits, commits[1:])]
+    assert max(gaps) < cluster.config.gcs.crash_detection + 0.5
+
+
+def test_soak_pure_contention_no_faults():
+    """High-contention run on a single hot row: exactly one winner per
+    conflict window, monotone counter, full agreement."""
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=123))
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE hot (k INT PRIMARY KEY, n INT)"])
+    cluster.bulk_load("hot", [{"k": 1, "n": 0}])
+    driver = Driver(cluster.network, cluster.discovery)
+    rng = sim.rng("hot")
+    wins = [0]
+
+    def incrementer(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        for _ in range(40):
+            yield sim.sleep(rng.random() * 0.01)
+            try:
+                yield from conn.execute("UPDATE hot SET n = n + 1 WHERE k = 1")
+                yield from conn.commit()
+                wins[0] += 1
+            except DatabaseError:
+                pass
+
+    for cid in range(8):
+        sim.spawn(incrementer(cid), name=f"inc{cid}")
+    sim.run()
+    sim.run(until=sim.now + 3.0)
+    final = {
+        query(sim, node.db, "SELECT n FROM hot WHERE k = 1")[0]["n"]
+        for node in cluster.nodes
+    }
+    assert len(final) == 1
+    # no lost updates: the counter equals the number of successful commits
+    assert final.pop() == wins[0]
+    assert cluster.one_copy_report().ok

@@ -1,0 +1,237 @@
+"""Integration tests: the decentralized SRCA-Rep cluster end to end."""
+
+import pytest
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import CertificationAborted, TransactionAborted
+from repro.testing import query
+
+
+def make_cluster(n=3, hole_sync=True, seed=1, rows=6):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=n, hole_sync=hole_sync, seed=seed))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, rows + 1)])
+    return cluster, Driver(cluster.network, cluster.discovery)
+
+
+def settle(cluster, seconds=2.0):
+    cluster.sim.run(until=cluster.sim.now + seconds)
+
+
+def test_update_propagates_to_every_replica():
+    cluster, driver = make_cluster()
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 9 WHERE k = 2")
+        yield from conn.commit()
+
+    sim.run_process(client())
+    settle(cluster)
+    for node in cluster.nodes:
+        assert query(sim, node.db, "SELECT v FROM kv WHERE k = 2") == [{"v": 9}]
+    assert cluster.one_copy_report().ok
+
+
+def test_clients_on_different_replicas_conflict_detected():
+    """Two concurrent writers of the same row at different replicas: the
+    first certified commits, the second aborts at validation."""
+    cluster, driver = make_cluster(seed=3)
+    sim = cluster.sim
+    outcomes = {}
+
+    def client(name, address):
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        try:
+            yield from conn.execute("UPDATE kv SET v = v + 1 WHERE k = 1")
+            yield from conn.commit()
+            outcomes[name] = "committed"
+        except TransactionAborted:
+            outcomes[name] = "aborted"
+
+    sim.spawn(client("a", "R0"), name="a")
+    sim.spawn(client("b", "R1"), name="b")
+    sim.run()
+    settle(cluster)
+    assert sorted(outcomes.values()) == ["aborted", "committed"]
+    for node in cluster.nodes:
+        assert query(sim, node.db, "SELECT v FROM kv WHERE k = 1") == [{"v": 1}]
+    assert cluster.one_copy_report().ok
+
+
+def test_nonconflicting_concurrent_writers_both_commit():
+    cluster, driver = make_cluster(seed=4)
+    sim = cluster.sim
+    outcomes = []
+
+    def client(key):
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = ? WHERE k = ?", (key * 10, key))
+        yield from conn.commit()
+        outcomes.append(key)
+
+    for key in (1, 2, 3):
+        sim.spawn(client(key), name=f"c{key}")
+    sim.run()
+    settle(cluster)
+    assert sorted(outcomes) == [1, 2, 3]
+    for node in cluster.nodes:
+        rows = query(sim, node.db, "SELECT k, v FROM kv WHERE k IN (1,2,3) ORDER BY k")
+        assert rows == [{"k": 1, "v": 10}, {"k": 2, "v": 20}, {"k": 3, "v": 30}]
+    assert cluster.one_copy_report().ok
+
+
+def test_reads_never_block_and_see_snapshots():
+    cluster, driver = make_cluster(seed=5)
+    sim = cluster.sim
+    seen = {}
+
+    def writer():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        yield sim.sleep(2.0)  # hold the row lock at the local replica
+        yield from conn.commit()
+
+    def reader():
+        yield sim.sleep(1.0)
+        conn = yield from driver.connect(cluster.new_client_host())
+        started = sim.now
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        seen["value"] = result.rows[0]["v"]
+        seen["latency"] = sim.now - started
+
+    sim.spawn(writer(), name="writer")
+    sim.spawn(reader(), name="reader")
+    sim.run()
+    settle(cluster)
+    assert seen["value"] == 0  # snapshot read of the pre-write value
+    assert seen["latency"] < 0.1  # never blocked on the writer's lock
+
+
+def test_autocommit_mode():
+    cluster, driver = make_cluster(seed=6)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        conn.autocommit = True
+        yield from conn.execute("UPDATE kv SET v = 5 WHERE k = 4")
+        assert not conn.in_transaction  # committed automatically
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 4")
+        return result.rows
+
+    assert sim.run_process(client()) == [{"v": 5}]
+    settle(cluster)
+    assert cluster.one_copy_report().ok
+
+
+def test_rollback_discards_work():
+    cluster, driver = make_cluster(seed=7)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 99 WHERE k = 1")
+        yield from conn.rollback()
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        return result.rows
+
+    assert sim.run_process(client()) == [{"v": 0}]
+
+
+def test_ddl_through_driver_reaches_all_replicas():
+    cluster, driver = make_cluster(seed=8)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("CREATE TABLE extra (id INT PRIMARY KEY, x INT)")
+        yield from conn.execute("INSERT INTO extra (id, x) VALUES (1, 1)")
+        yield from conn.commit()
+
+    sim.run_process(client())
+    settle(cluster)
+    for node in cluster.nodes:
+        assert query(sim, node.db, "SELECT x FROM extra WHERE id = 1") == [{"x": 1}]
+
+
+def test_insert_delete_round_trip_replicated():
+    cluster, driver = make_cluster(seed=9)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("INSERT INTO kv (k, v) VALUES (100, 1)")
+        yield from conn.commit()
+        yield from conn.execute("DELETE FROM kv WHERE k = 100")
+        yield from conn.commit()
+
+    sim.run_process(client())
+    settle(cluster)
+    for node in cluster.nodes:
+        assert query(sim, node.db, "SELECT COUNT(*) AS n FROM kv WHERE k = 100") == [
+            {"n": 0}
+        ]
+    assert cluster.one_copy_report().ok
+
+
+def test_statement_error_aborts_transaction_but_connection_survives():
+    cluster, driver = make_cluster(seed=10)
+    sim = cluster.sim
+
+    def client():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 5 WHERE k = 1")
+        with pytest.raises(Exception):
+            yield from conn.execute("SELECT * FROM no_such_table")
+        # transaction was poisoned server-side; start a new one
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        return result.rows
+
+    assert sim.run_process(client()) == [{"v": 0}]  # the update was rolled back
+
+
+def test_many_clients_random_load_keeps_one_copy_si():
+    cluster, driver = make_cluster(n=3, seed=11)
+    sim = cluster.sim
+    rng = sim.rng("load")
+    stats = {"committed": 0, "aborted": 0}
+
+    def client(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        for i in range(10):
+            yield sim.sleep(rng.random() * 0.05)
+            try:
+                if rng.random() < 0.5:
+                    yield from conn.execute("SELECT k, v FROM kv ORDER BY k")
+                else:
+                    key = rng.randint(1, 6)
+                    yield from conn.execute(
+                        "UPDATE kv SET v = ? WHERE k = ?", (cid * 100 + i, key)
+                    )
+                yield from conn.commit()
+                stats["committed"] += 1
+            except TransactionAborted:
+                stats["aborted"] += 1
+
+    for cid in range(6):
+        sim.spawn(client(cid), name=f"client{cid}")
+    sim.run()
+    settle(cluster)
+    assert stats["committed"] > 20
+    report = cluster.one_copy_report()
+    assert report.ok, [str(v) for v in report.violations]
+    # All replicas converged to the same final state.
+    states = [
+        tuple(
+            (r["k"], r["v"])
+            for r in query(sim, node.db, "SELECT k, v FROM kv ORDER BY k")
+        )
+        for node in cluster.nodes
+    ]
+    assert len(set(states)) == 1

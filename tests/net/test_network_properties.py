@@ -1,0 +1,72 @@
+"""Property tests: channel FIFO order holds under any jitter/schedule."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import LatencyModel, Network
+from repro.sim import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=0.004), min_size=2, max_size=30),
+    jitter=st.floats(min_value=0.0, max_value=0.01),
+)
+def test_channel_is_fifo_under_arbitrary_jitter(seed, gaps, jitter):
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim, latency=LatencyModel(base=0.001, jitter=jitter, rng=sim.rng("net"))
+    )
+    client = net.register("c")
+    server = net.register("s")
+    received = []
+
+    def server_proc():
+        end = yield server.accept()
+        for _ in range(len(gaps)):
+            received.append((yield from end.recv()))
+
+    def client_proc():
+        channel = net.connect(client, "s")
+        for i, gap in enumerate(gaps):
+            channel.client_end.send(i)
+            yield sim.sleep(gap)
+
+    sim.spawn(server_proc(), name="server")
+    sim.spawn(client_proc(), name="client")
+    sim.run()
+    assert received == list(range(len(gaps)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(min_value=1, max_value=20),
+)
+def test_duplex_streams_are_independent_fifo(seed, n):
+    sim = Simulator(seed=seed)
+    net = Network(
+        sim, latency=LatencyModel(base=0.001, jitter=0.003, rng=sim.rng("net"))
+    )
+    client = net.register("c")
+    server = net.register("s")
+    got_client, got_server = [], []
+
+    def server_proc():
+        end = yield server.accept()
+        for i in range(n):
+            end.send(("s", i))
+            got_server.append((yield from end.recv()))
+
+    def client_proc():
+        channel = net.connect(client, "s")
+        for i in range(n):
+            channel.client_end.send(("c", i))
+            got_client.append((yield from channel.client_end.recv()))
+
+    sim.spawn(server_proc(), name="server")
+    sim.spawn(client_proc(), name="client")
+    sim.run()
+    assert got_server == [("c", i) for i in range(n)]
+    assert got_client == [("s", i) for i in range(n)]

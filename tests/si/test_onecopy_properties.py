@@ -1,0 +1,135 @@
+"""Property tests for the Definition-3 checker.
+
+Soundness round trip: take a random *global* SI-schedule S as ground
+truth, derive each replica's local schedule from it exactly as a correct
+ROWA system would (same ww commit order everywhere; remote transactions
+with empty readsets; local reads-from positions consistent with S) — the
+checker must accept.  Conversely, swapping the commit order of a
+ww-conflicting pair at one replica must be rejected.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.si import Schedule, TxnSpec, check_one_copy_si
+from repro.si.schedule import BEGIN, COMMIT
+
+N_OBJECTS = 5
+REPLICAS = ("R0", "R1")
+
+
+@st.composite
+def global_executions(draw):
+    """A random valid global execution: specs + a global SI-schedule."""
+    n_txns = draw(st.integers(min_value=2, max_value=6))
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    specs = []
+    for i in range(n_txns):
+        writes = frozenset(
+            rng.sample(range(N_OBJECTS), rng.randint(0, 2))
+        )
+        reads = frozenset(rng.sample(range(N_OBJECTS), rng.randint(0, 3)))
+        specs.append(TxnSpec(str(i), readset=reads, writeset=writes))
+    # build a concurrent global SI-schedule greedily: a transaction may
+    # stay open across others' commits as long as no two open
+    # transactions ww-conflict (exactly Def. 1's requirement)
+    events = []
+    open_txns = []
+    for spec in specs:
+        for other in list(open_txns):
+            if spec.writeset & other.writeset:
+                events.append((COMMIT, other.tid))
+                open_txns.remove(other)
+        events.append((BEGIN, spec.tid))
+        open_txns.append(spec)
+        if rng.random() < 0.5 and open_txns:
+            victim = rng.choice(open_txns)
+            events.append((COMMIT, victim.tid))
+            open_txns.remove(victim)
+    rng.shuffle(open_txns)
+    for spec in open_txns:
+        events.append((COMMIT, spec.tid))
+    schedule = Schedule({s.tid: s for s in specs}, events)
+    assert schedule.is_si_schedule()
+    locality = {s.tid: rng.choice(REPLICAS) for s in specs}
+    return specs, schedule, locality, rng
+
+
+def derive_local(specs, schedule, locality, replica):
+    """Project the global schedule onto one replica (correct ROWA)."""
+    transactions = {}
+    events = []
+    for kind, tid in schedule.events:
+        spec = next(s for s in specs if s.tid == tid)
+        is_local = locality[tid] == replica
+        if spec.is_readonly and not is_local:
+            continue  # read-only transactions exist only at home
+        transactions[tid] = TxnSpec(
+            tid,
+            spec.readset if is_local else frozenset(),
+            spec.writeset,
+        )
+        events.append((kind, tid))
+    return Schedule(transactions, events)
+
+
+@settings(max_examples=80, deadline=None)
+@given(global_executions())
+def test_correct_rowa_projection_always_accepted(execution):
+    specs, schedule, locality, _rng = execution
+    schedules = {r: derive_local(specs, schedule, locality, r) for r in REPLICAS}
+    report = check_one_copy_si(schedules, locality)
+    assert report.ok, [str(v) for v in report.violations]
+    assert report.witness is not None
+    assert report.witness.is_si_schedule()
+
+
+@settings(max_examples=80, deadline=None)
+@given(global_executions())
+def test_ww_order_swap_at_one_replica_rejected(execution):
+    specs, schedule, locality, rng = execution
+    schedules = {r: derive_local(specs, schedule, locality, r) for r in REPLICAS}
+    # find a ww-conflicting pair present at R1 and swap their commits
+    target = schedules["R1"]
+    pair = None
+    tids = list(target.transactions)
+    for i, a in enumerate(tids):
+        for b in tids[i + 1:]:
+            if target.transactions[a].conflicts_with(target.transactions[b]):
+                pair = (a, b)
+                break
+        if pair:
+            break
+    if pair is None:
+        return  # nothing to corrupt in this example
+    a, b = pair
+    events = list(target.events)
+    ia, ib = events.index((COMMIT, a)), events.index((COMMIT, b))
+    events[ia], events[ib] = events[ib], events[ia]
+    # swapping commits may also break Def. 1 locally; either way the
+    # checker must not report success
+    schedules["R1"] = Schedule(target.transactions, events)
+    report = check_one_copy_si(schedules, locality)
+    assert not report.ok
+
+
+@settings(max_examples=60, deadline=None)
+@given(global_executions())
+def test_witness_is_equivalent_projection_per_replica(execution):
+    """The produced witness must order ww commits exactly as the locals."""
+    specs, schedule, locality, _rng = execution
+    schedules = {r: derive_local(specs, schedule, locality, r) for r in REPLICAS}
+    report = check_one_copy_si(schedules, locality)
+    assert report.ok
+    witness = report.witness
+    for replica, local in schedules.items():
+        tids = [t for t, s in local.transactions.items() if s.writeset]
+        for i, a in enumerate(tids):
+            for b in tids[i + 1:]:
+                if not local.transactions[a].conflicts_with(local.transactions[b]):
+                    continue
+                assert witness.before((COMMIT, a), (COMMIT, b)) == local.before(
+                    (COMMIT, a), (COMMIT, b)
+                )

@@ -1,0 +1,295 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError, SimulationStalled
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_sleep_advances_virtual_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(1.5)
+        return sim.now
+
+    assert sim.run_process(proc()) == 1.5
+
+
+def test_zero_sleep_runs_immediately():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(0.0)
+        return "ok"
+
+    assert sim.run_process(proc()) == "ok"
+    assert sim.now == 0.0
+
+
+def test_negative_sleep_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.sleep(-1.0)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        yield sim.sleep(delay)
+        log.append((name, sim.now))
+
+    sim.spawn(proc("late", 2.0), name="late")
+    sim.spawn(proc("early", 1.0), name="early")
+    sim.run()
+    assert log == [("early", 1.0), ("late", 2.0)]
+
+
+def test_fifo_tiebreak_for_simultaneous_events():
+    sim = Simulator()
+    log = []
+
+    def proc(name):
+        yield sim.sleep(1.0)
+        log.append(name)
+
+    for i in range(5):
+        sim.spawn(proc(i), name=str(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_return_value_via_run_process():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(0.1)
+        return 42
+
+    assert sim.run_process(proc()) == 42
+
+
+def test_exception_propagates_from_run_process():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(0.1)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run_process(proc())
+
+
+def test_non_daemon_failure_aborts_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.sleep(0.1)
+        raise RuntimeError("bad")
+
+    sim.spawn(bad(), name="bad")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+def test_daemon_failure_is_recorded_not_raised():
+    sim = Simulator()
+
+    def bad():
+        yield sim.sleep(0.1)
+        raise RuntimeError("bad")
+
+    proc = sim.spawn(bad(), name="bad", daemon=True)
+    sim.run()
+    assert proc.state == "failed"
+    assert isinstance(proc.exception, RuntimeError)
+
+
+def test_join_returns_result():
+    sim = Simulator()
+
+    def worker():
+        yield sim.sleep(1.0)
+        return "payload"
+
+    def waiter():
+        proc = sim.spawn(worker(), name="worker")
+        value = yield proc.join()
+        return value, sim.now
+
+    assert sim.run_process(waiter()) == ("payload", 1.0)
+
+
+def test_join_after_completion_resumes_immediately():
+    sim = Simulator()
+
+    def worker():
+        yield sim.sleep(1.0)
+        return 7
+
+    def waiter():
+        proc = sim.spawn(worker(), name="worker")
+        yield sim.sleep(5.0)
+        value = yield proc.join()
+        return value
+
+    assert sim.run_process(waiter()) == 7
+
+
+def test_join_propagates_worker_exception():
+    sim = Simulator()
+
+    def worker():
+        yield sim.sleep(1.0)
+        raise KeyError("gone")
+
+    def waiter():
+        proc = sim.spawn(worker(), name="worker", daemon=True)
+        yield proc.join()
+
+    with pytest.raises(KeyError):
+        sim.run_process(waiter())
+
+
+def test_kill_blocked_process():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.sleep(100.0)
+        raise AssertionError("must not resume")
+
+    proc = sim.spawn(sleeper(), name="sleeper")
+    sim.run(until=1.0)
+    proc.kill()
+    sim.run()
+    assert proc.state == "killed"
+
+
+def test_join_on_killed_process_raises():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.sleep(100.0)
+
+    def waiter():
+        proc = sim.spawn(sleeper(), name="sleeper")
+        sim.call_at(1.0, proc.kill)
+        yield proc.join()
+
+    with pytest.raises(ProcessKilled):
+        sim.run_process(waiter())
+
+
+def test_kill_runs_finally_blocks():
+    sim = Simulator()
+    cleaned = []
+
+    def sleeper():
+        try:
+            yield sim.sleep(100.0)
+        finally:
+            cleaned.append(True)
+
+    proc = sim.spawn(sleeper(), name="sleeper")
+    sim.run(until=1.0)
+    proc.kill()
+    assert cleaned == [True]
+
+
+def test_run_until_stops_mid_simulation():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.sleep(1.0)
+            log.append(sim.now)
+
+    sim.spawn(proc(), name="p")
+    sim.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+    sim.run()
+    assert len(log) == 10
+
+
+def test_stall_detection():
+    sim = Simulator()
+    from repro.sim import Event
+
+    ev = Event()
+
+    def stuck():
+        yield ev.wait()
+
+    with pytest.raises(SimulationStalled):
+        sim.run_process(stuck())
+
+
+def test_yielding_non_awaitable_fails_loudly():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(SimulationError, match="non-awaitable"):
+        sim.run_process(bad())
+
+
+def test_call_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.call_at(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield sim.sleep(5.0)
+        sim.call_at(1.0, lambda: None)
+
+    with pytest.raises(SimulationError, match="past"):
+        sim.run_process(proc())
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim1 = Simulator(seed=7)
+    sim2 = Simulator(seed=7)
+    a1 = [sim1.rng("a").random() for _ in range(5)]
+    # Interleave another stream in sim2: stream "a" must be unaffected.
+    draws = []
+    for _ in range(5):
+        sim2.rng("b").random()
+        draws.append(sim2.rng("a").random())
+    assert a1 == draws
+
+
+def test_rng_streams_differ_across_seeds():
+    assert Simulator(seed=1).rng("a").random() != Simulator(seed=2).rng("a").random()
+
+
+def test_nested_generators_with_yield_from():
+    sim = Simulator()
+
+    def inner():
+        yield sim.sleep(1.0)
+        return "inner"
+
+    def outer():
+        value = yield from inner()
+        yield sim.sleep(1.0)
+        return value + "/outer"
+
+    assert sim.run_process(outer()) == "inner/outer"
+    assert sim.now == 2.0

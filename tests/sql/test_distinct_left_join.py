@@ -1,0 +1,127 @@
+"""SELECT DISTINCT and LEFT [OUTER] JOIN."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sim import Simulator
+from repro.sql.parser import parse
+from repro.sql.render import render
+from repro.storage import Database
+from repro.testing import query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="db")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE person (id INT PRIMARY KEY, city TEXT)",),
+            ("CREATE TABLE pet (pid INT PRIMARY KEY, owner INT, kind TEXT)",),
+            ("CREATE INDEX i_owner ON pet (owner)",),
+            (
+                "INSERT INTO person (id, city) VALUES "
+                "(1, 'rome'), (2, 'rome'), (3, 'oslo'), (4, 'lima')",
+            ),
+            (
+                "INSERT INTO pet (pid, owner, kind) VALUES "
+                "(10, 1, 'cat'), (11, 1, 'dog'), (12, 3, 'cat')",
+            ),
+        ],
+    )
+    return sim, db
+
+
+def test_distinct_single_column(env):
+    sim, db = env
+    rows = query(sim, db, "SELECT DISTINCT city FROM person ORDER BY city")
+    assert rows == [{"city": "lima"}, {"city": "oslo"}, {"city": "rome"}]
+
+
+def test_distinct_multi_column_keeps_distinct_pairs(env):
+    sim, db = env
+    run_txn(sim, db, [("INSERT INTO person (id, city) VALUES (5, 'rome')",)])
+    rows = query(
+        sim, db, "SELECT DISTINCT city, id FROM person WHERE city = 'rome' ORDER BY id"
+    )
+    assert len(rows) == 3  # same city, different ids: all distinct pairs
+
+
+def test_distinct_applies_before_limit(env):
+    sim, db = env
+    rows = query(sim, db, "SELECT DISTINCT city FROM person ORDER BY city LIMIT 2")
+    assert rows == [{"city": "lima"}, {"city": "oslo"}]
+
+
+def test_distinct_order_by_requires_output_column(env):
+    sim, db = env
+    with pytest.raises(SQLError, match="DISTINCT output"):
+        query(sim, db, "SELECT DISTINCT city FROM person ORDER BY id")
+
+
+def test_left_join_preserves_unmatched_outer_rows(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT p.id, q.kind FROM person p LEFT JOIN pet q ON p.id = q.owner "
+        "ORDER BY p.id",
+    )
+    assert rows == [
+        {"id": 1, "kind": "cat"},
+        {"id": 1, "kind": "dog"},
+        {"id": 2, "kind": None},
+        {"id": 3, "kind": "cat"},
+        {"id": 4, "kind": None},
+    ]
+
+
+def test_left_outer_join_keyword(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT p.id FROM person p LEFT OUTER JOIN pet q ON p.id = q.owner "
+        "WHERE q.kind IS NULL ORDER BY p.id",
+    )
+    assert rows == [{"id": 2}, {"id": 4}]  # the anti-join idiom
+
+
+def test_inner_join_still_drops_unmatched(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT p.id FROM person p JOIN pet q ON p.id = q.owner "
+        "GROUP BY p.id ORDER BY p.id",
+    )
+    assert rows == [{"id": 1}, {"id": 3}]
+
+
+def test_left_join_with_aggregate(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT p.city, COUNT(q.pid) AS pets FROM person p "
+        "LEFT JOIN pet q ON p.id = q.owner GROUP BY p.city ORDER BY p.city",
+    )
+    # COUNT(column) skips the NULLs from unmatched left rows
+    assert rows == [
+        {"city": "lima", "pets": 0},
+        {"city": "oslo", "pets": 1},
+        {"city": "rome", "pets": 2},
+    ]
+
+
+def test_parse_and_render_round_trip():
+    for sql in (
+        "SELECT DISTINCT a, b FROM t ORDER BY a LIMIT 3",
+        "SELECT p.a FROM t p LEFT JOIN u q ON p.a = q.b WHERE q.b IS NULL",
+    ):
+        statement = parse(sql)
+        assert parse(render(statement)) == statement
+
+
+def test_distinct_flag_in_ast():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+    assert not parse("SELECT a FROM t").distinct
+    join = parse("SELECT a FROM t LEFT JOIN u ON t.a = u.b").joins[0]
+    assert join.left_outer

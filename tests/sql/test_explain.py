@@ -1,0 +1,63 @@
+"""Access-path introspection (Database.explain)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Database
+
+
+@pytest.fixture
+def db():
+    sim = Simulator()
+    database = Database(sim)
+    database.run_ddl(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, val INT)"
+    )
+    database.run_ddl("CREATE INDEX i_grp ON t (grp)")
+    database.bulk_load("t", [{"id": 1, "grp": 1, "val": 1}])
+    return database
+
+
+def test_pk_point_lookup(db):
+    assert db.explain("SELECT * FROM t WHERE id = 5") == ("pk", 1)
+    assert db.explain("SELECT * FROM t WHERE id = ? AND val > 2", (5,)) == ("pk", 1)
+
+
+def test_pk_in_list(db):
+    assert db.explain("SELECT * FROM t WHERE id IN (1, 2, 3)") == ("pk", 3)
+    # duplicates collapse
+    assert db.explain("SELECT * FROM t WHERE id IN (1, 1, 2)") == ("pk", 2)
+
+
+def test_index_lookup(db):
+    assert db.explain("SELECT * FROM t WHERE grp = 3") == ("index", "grp", 1)
+    assert db.explain("UPDATE t SET val = 0 WHERE grp = ?", (3,)) == (
+        "index", "grp", 1,
+    )
+
+
+def test_pk_beats_index(db):
+    assert db.explain("SELECT * FROM t WHERE grp = 3 AND id = 1") == ("pk", 1)
+
+
+def test_scan_cases(db):
+    assert db.explain("SELECT * FROM t") == ("scan",)
+    assert db.explain("SELECT * FROM t WHERE val > 5") == ("scan",)
+    # OR disables conjunct extraction
+    assert db.explain("SELECT * FROM t WHERE id = 1 OR id = 2") == ("scan",)
+    # range on pk is not an equality
+    assert db.explain("SELECT * FROM t WHERE id BETWEEN 1 AND 5") == ("scan",)
+    assert db.explain("DELETE FROM t WHERE val = 0") == ("scan",)
+
+
+def test_ddl_and_insert(db):
+    assert db.explain("CREATE INDEX i2 ON t (val)") == ("ddl",)
+    assert db.explain("INSERT INTO t (id, grp, val) VALUES (9, 1, 1)") == ("pk", 1)
+
+
+def test_join_reports_base_table_path(db):
+    db.run_ddl("CREATE TABLE u (uid INT PRIMARY KEY, ref INT)")
+    path = db.explain(
+        "SELECT t.id FROM t JOIN u ON t.id = u.ref WHERE t.grp = 2"
+    )
+    assert path == ("index", "grp", 1)

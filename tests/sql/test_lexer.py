@@ -1,0 +1,66 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql.lexer import END, IDENT, KW, NUMBER, PARAM, PUNCT, STRING, tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select") == [(KW, "SELECT")]
+    assert kinds("SeLeCt") == [(KW, "SELECT")]
+
+
+def test_identifiers_preserve_case():
+    assert kinds("myTable _x col2") == [
+        (IDENT, "myTable"), (IDENT, "_x"), (IDENT, "col2"),
+    ]
+
+
+def test_numbers_int_and_float():
+    assert kinds("42 3.14 0.5") == [(NUMBER, 42), (NUMBER, 3.14), (NUMBER, 0.5)]
+
+
+def test_scientific_notation_floats():
+    assert kinds("1e3 2.5E-2 7e+1 1e") == [
+        (NUMBER, 1000.0), (NUMBER, 0.025), (NUMBER, 70.0),
+        (NUMBER, 1), (IDENT, "e"),  # bare 'e' is not an exponent
+    ]
+
+
+def test_string_literals_with_escaped_quote():
+    assert kinds("'hello' 'it''s'") == [(STRING, "hello"), (STRING, "it's")]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(SQLError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_params_and_punctuation():
+    assert kinds("a >= ? <> !=") == [
+        (IDENT, "a"), (PUNCT, ">="), (PARAM, None), (PUNCT, "<>"), (PUNCT, "!="),
+    ]
+
+
+def test_dotted_names():
+    assert kinds("t.col") == [(IDENT, "t"), (PUNCT, "."), (IDENT, "col")]
+
+
+def test_number_followed_by_dot_punct():
+    # "1." where the dot is not part of the number
+    assert kinds("1.x") == [(NUMBER, 1), (PUNCT, "."), (IDENT, "x")]
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(SQLError, match="unexpected character"):
+        tokenize("select @")
+
+
+def test_end_token_always_present():
+    assert tokenize("")[-1].kind == END
+    assert tokenize("select")[-1].kind == END

@@ -1,0 +1,176 @@
+"""Parser tests: statement shapes, precedence, params, errors."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_cached
+
+
+def test_select_star():
+    stmt = parse("SELECT * FROM t")
+    assert stmt.columns == ("*",)
+    assert stmt.table == "t"
+    assert stmt.where is None
+
+
+def test_select_columns_aliases_order_limit():
+    stmt = parse(
+        "SELECT a, b AS bee, a + 1 AS nxt FROM t WHERE a > 1 "
+        "ORDER BY b DESC, a LIMIT 5"
+    )
+    assert [c.alias for c in stmt.columns] == [None, "bee", "nxt"]
+    assert stmt.order_by[0].descending is True
+    assert stmt.order_by[1].descending is False
+    assert stmt.limit == ast.Literal(5)
+
+
+def test_select_join():
+    stmt = parse("SELECT t.a, u.b FROM t JOIN u ON t.a = u.ref WHERE u.b = 1")
+    assert len(stmt.joins) == 1
+    join = stmt.joins[0]
+    assert join.table == "u"
+    assert join.on_left == ast.Column("a", "t")
+    assert join.on_right == ast.Column("ref", "u")
+
+
+def test_select_join_with_aliases():
+    stmt = parse("SELECT x.a FROM t x INNER JOIN u y ON x.a = y.a")
+    assert stmt.alias == "x"
+    assert stmt.joins[0].alias == "y"
+
+
+def test_aggregates():
+    stmt = parse("SELECT COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM t")
+    assert stmt.is_aggregate
+    funcs = [c.expr.func for c in stmt.columns]
+    assert funcs == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+    assert stmt.columns[0].expr.arg is None
+
+
+def test_insert_multi_row_with_params():
+    stmt = parse("INSERT INTO t (a, b) VALUES (1, ?), (?, 'x')")
+    assert stmt.columns == ("a", "b")
+    assert stmt.rows[0] == (ast.Literal(1), ast.Param(0))
+    assert stmt.rows[1] == (ast.Param(1), ast.Literal("x"))
+
+
+def test_insert_arity_mismatch_rejected():
+    with pytest.raises(SQLError, match="columns but"):
+        parse("INSERT INTO t (a, b) VALUES (1)")
+
+
+def test_update():
+    stmt = parse("UPDATE t SET a = a + 1, b = ? WHERE a = 3")
+    assert stmt.assignments[0][0] == "a"
+    assert stmt.assignments[1] == ("b", ast.Param(0))
+    assert isinstance(stmt.where, ast.BinOp)
+
+
+def test_delete_without_where():
+    stmt = parse("DELETE FROM t")
+    assert stmt.where is None
+
+
+def test_create_table():
+    stmt = parse(
+        "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, f FLOAT, b BOOL)"
+    )
+    assert stmt.columns[0] == ast.CreateColumn("id", "INT", primary_key=True)
+    assert stmt.columns[1].not_null
+
+
+def test_create_index():
+    stmt = parse("CREATE INDEX i_name ON t (name)")
+    assert (stmt.name, stmt.table, stmt.column) == ("i_name", "t", "name")
+
+
+def test_and_binds_tighter_than_or():
+    stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    assert stmt.where.op == "OR"
+    assert stmt.where.right.op == "AND"
+
+
+def test_arithmetic_precedence():
+    stmt = parse("SELECT * FROM t WHERE a = 1 + 2 * 3")
+    comparison = stmt.where
+    assert comparison.right.op == "+"
+    assert comparison.right.right.op == "*"
+
+
+def test_parentheses_override_precedence():
+    stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+    assert stmt.where.op == "AND"
+    assert stmt.where.left.op == "OR"
+
+
+def test_not_in_between_like_is_null():
+    stmt = parse(
+        "SELECT * FROM t WHERE a NOT IN (1, 2) AND b BETWEEN 1 AND 5 "
+        "AND c LIKE 'x%' AND d IS NOT NULL AND e IS NULL"
+    )
+    terms = []
+
+    def flatten(node):
+        if isinstance(node, ast.BinOp) and node.op == "AND":
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            terms.append(node)
+
+    flatten(stmt.where)
+    assert isinstance(terms[0], ast.InList) and terms[0].negated
+    assert isinstance(terms[1], ast.Between) and not terms[1].negated
+    assert isinstance(terms[2], ast.Like)
+    assert isinstance(terms[3], ast.IsNull) and terms[3].negated
+    assert isinstance(terms[4], ast.IsNull) and not terms[4].negated
+
+
+def test_unary_minus_and_not():
+    stmt = parse("SELECT * FROM t WHERE NOT a = -5")
+    assert isinstance(stmt.where, ast.UnaryOp)
+    assert stmt.where.op == "NOT"
+
+
+def test_params_numbered_left_to_right():
+    stmt = parse("UPDATE t SET a = ?, b = ? WHERE c = ?")
+    assert stmt.assignments[0][1] == ast.Param(0)
+    assert stmt.assignments[1][1] == ast.Param(1)
+    assert stmt.where.right == ast.Param(2)
+
+
+def test_boolean_and_null_literals():
+    stmt = parse("SELECT * FROM t WHERE a = TRUE AND b = FALSE AND c = NULL")
+    terms = []
+
+    def flatten(node):
+        if isinstance(node, ast.BinOp) and node.op == "AND":
+            flatten(node.left)
+            flatten(node.right)
+        else:
+            terms.append(node)
+
+    flatten(stmt.where)
+    assert terms[0].right == ast.Literal(True)
+    assert terms[1].right == ast.Literal(False)
+    assert terms[2].right == ast.Literal(None)
+
+
+def test_trailing_semicolon_allowed():
+    parse("SELECT * FROM t;")
+
+
+def test_garbage_after_statement_rejected():
+    with pytest.raises(SQLError):
+        parse("SELECT * FROM t garbage extra ,")
+
+
+def test_unknown_statement_rejected():
+    with pytest.raises(SQLError, match="cannot parse"):
+        parse("DROP TABLE t")
+
+
+def test_parse_cached_returns_same_object():
+    a = parse_cached("SELECT * FROM cache_me")
+    b = parse_cached("SELECT * FROM cache_me")
+    assert a is b

@@ -1,0 +1,100 @@
+"""Renderer tests: parse(render(x)) is the identity on parser output."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.render import render, render_expr
+
+STATEMENTS = [
+    "SELECT * FROM t",
+    "SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC, a LIMIT 5",
+    "SELECT t.a, u.b FROM t JOIN u ON t.a = u.ref WHERE u.b = 1",
+    "SELECT x.a FROM t x JOIN u y ON x.a = y.a",
+    "SELECT COUNT(*), SUM(v) AS s FROM t WHERE v IS NOT NULL",
+    "SELECT region, SUM(amount) AS total FROM sales GROUP BY region "
+    "HAVING SUM(amount) > 10 ORDER BY total DESC",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)",
+    "UPDATE t SET a = a + 1, b = ? WHERE c IN (1, 2, 3)",
+    "DELETE FROM t WHERE a BETWEEN 1 AND 5 OR b LIKE 'x%'",
+    "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL, f FLOAT)",
+    "CREATE INDEX i ON t (name)",
+    "SELECT a FROM t WHERE NOT (a = 1 AND b = 2)",
+    "SELECT a FROM t WHERE a = -5 AND b = TRUE AND c = FALSE",
+    "SELECT a FROM t WHERE a = (SELECT MAX(a) FROM t)",
+    "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c > 1)",
+    "CREATE TABLE c (id INT PRIMARY KEY, pid INT REFERENCES p)",
+]
+
+
+@pytest.mark.parametrize("sql", STATEMENTS)
+def test_statement_round_trip(sql):
+    statement = parse(sql)
+    rendered = render(statement)
+    assert parse(rendered) == statement
+
+
+# -- property-based expression round trip --------------------------------------
+
+_literals = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(ast.Literal),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False).map(ast.Literal),
+    st.text(
+        alphabet="abc xyz'",
+        max_size=8,
+    ).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+_columns = st.sampled_from(
+    [ast.Column("a"), ast.Column("b"), ast.Column("c", table="t")]
+)
+_atoms = st.one_of(_literals, _columns)
+
+
+def _expressions(children):
+    return st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*", "/"]), children, children).map(
+            lambda t: ast.BinOp(*t)
+        ),
+        st.tuples(
+            st.sampled_from(["=", "<>", "<", "<=", ">", ">="]), children, children
+        ).map(lambda t: ast.BinOp(*t)),
+        st.tuples(st.sampled_from(["AND", "OR"]), children, children).map(
+            lambda t: ast.BinOp(*t)
+        ),
+        children.map(lambda e: ast.UnaryOp("NOT", e)),
+        children.map(lambda e: ast.UnaryOp("NEG", e)),
+        st.tuples(children, st.lists(_literals, min_size=1, max_size=3),
+                  st.booleans()).map(
+            lambda t: ast.InList(t[0], tuple(t[1]), t[2])
+        ),
+        st.tuples(children, children, children, st.booleans()).map(
+            lambda t: ast.Between(t[0], t[1], t[2], t[3])
+        ),
+        st.tuples(children, st.booleans()).map(lambda t: ast.IsNull(t[0], t[1])),
+    )
+
+
+expression_trees = st.recursive(_atoms, _expressions, max_leaves=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(expression_trees)
+def test_expression_round_trip(expr):
+    where = parse(f"SELECT * FROM t WHERE {render_expr(expr)}").where
+    assert where == expr
+
+
+def test_render_escapes_quotes():
+    assert render_expr(ast.Literal("it's")) == "'it''s'"
+
+
+def test_render_param():
+    assert render_expr(ast.Param(0)) == "?"
+
+
+def test_render_aggregate_star():
+    assert render_expr(ast.Aggregate("COUNT", None)) == "COUNT(*)"

@@ -1,0 +1,147 @@
+"""Uncorrelated scalar and IN subqueries."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="db")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE emp (id INT PRIMARY KEY, dept TEXT, salary INT)",),
+            ("CREATE TABLE dept (name TEXT PRIMARY KEY, budget INT)",),
+            (
+                "INSERT INTO emp (id, dept, salary) VALUES "
+                "(1, 'eng', 100), (2, 'eng', 120), (3, 'ops', 80), (4, 'ops', 90)",
+            ),
+            (
+                "INSERT INTO dept (name, budget) VALUES ('eng', 500), ('ops', 100)",
+            ),
+        ],
+    )
+    return sim, db
+
+
+def test_scalar_subquery_comparison(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)",
+    )
+    assert rows == [{"id": 2}]
+
+
+def test_scalar_subquery_with_arithmetic(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE salary > (SELECT AVG(salary) FROM emp) ORDER BY id",
+    )
+    assert [r["id"] for r in rows] == [1, 2]  # avg = 97.5
+
+
+def test_in_subquery(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE dept IN "
+        "(SELECT name FROM dept WHERE budget > 200) ORDER BY id",
+    )
+    assert [r["id"] for r in rows] == [1, 2]
+
+
+def test_not_in_subquery(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE dept NOT IN "
+        "(SELECT name FROM dept WHERE budget > 200) ORDER BY id",
+    )
+    assert [r["id"] for r in rows] == [3, 4]
+
+
+def test_subquery_in_update(env):
+    sim, db = env
+    run_txn(
+        sim, db,
+        [("UPDATE emp SET salary = salary + 10 WHERE "
+          "salary = (SELECT MIN(salary) FROM emp)",)],
+    )
+    assert query(sim, db, "SELECT salary FROM emp WHERE id = 3") == [{"salary": 90}]
+
+
+def test_subquery_in_delete(env):
+    sim, db = env
+    run_txn(
+        sim, db,
+        [("DELETE FROM emp WHERE dept IN (SELECT name FROM dept WHERE budget < 200)",)],
+    )
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM emp") == [{"n": 2}]
+
+
+def test_empty_scalar_subquery_yields_null(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE salary = (SELECT MAX(budget) FROM dept "
+        "WHERE budget > 9999)",
+    )
+    assert rows == []  # NULL never matches
+
+
+def test_multi_row_scalar_subquery_rejected(env):
+    sim, db = env
+    with pytest.raises(SQLError, match="more than one row"):
+        query(sim, db, "SELECT id FROM emp WHERE salary = (SELECT salary FROM emp)")
+
+
+def test_multi_column_subquery_rejected(env):
+    sim, db = env
+    with pytest.raises(SQLError, match="exactly one column"):
+        query(
+            sim, db,
+            "SELECT id FROM emp WHERE dept IN (SELECT name, budget FROM dept)",
+        )
+
+
+def test_nested_subqueries(env):
+    sim, db = env
+    rows = query(
+        sim, db,
+        "SELECT id FROM emp WHERE dept IN (SELECT name FROM dept WHERE "
+        "budget = (SELECT MAX(budget) FROM dept)) ORDER BY id",
+    )
+    assert [r["id"] for r in rows] == [1, 2]
+
+
+def test_subquery_sees_transaction_snapshot(env):
+    sim, db = env
+    reader = db.begin()
+    execute_sync(sim, db, reader, "SELECT id FROM emp WHERE id = 1")
+    run_txn(sim, db, [("UPDATE emp SET salary = 999 WHERE id = 3",)])
+    result = execute_sync(
+        sim, db, reader,
+        "SELECT id FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)",
+    )
+    assert result.rows == [{"id": 2}]  # the 999 update is invisible
+    commit_sync(sim, db, reader)
+
+
+def test_pk_point_lookup_via_subquery_uses_pk_path(env):
+    sim, db = env
+    txn = db.begin()
+    result = execute_sync(
+        sim, db, txn,
+        "SELECT dept FROM emp WHERE id = (SELECT MIN(id) FROM emp)",
+    )
+    assert result.rows == [{"dept": "eng"}]
+    # the outer query examined the 4 subquery rows + 1 point lookup
+    assert result.rows_examined == 5
+    commit_sync(sim, db, txn)

@@ -1,0 +1,297 @@
+"""Snapshot isolation semantics of the database engine.
+
+These tests pin the exact behaviours the middleware algorithms rely on
+(paper §4): snapshot reads, first-updater-wins via lock + version check,
+blocking writers, deadlock aborts, and deferred commit-time checking.
+"""
+
+import pytest
+
+from repro.errors import (
+    DeadlockDetected,
+    IntegrityError,
+    InvalidTransactionState,
+    SerializationFailure,
+)
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="R1")
+    run_txn(
+        sim,
+        db,
+        [
+            ("CREATE TABLE acct (id INT PRIMARY KEY, owner TEXT, bal INT)",),
+            (
+                "INSERT INTO acct (id, owner, bal) VALUES "
+                "(1, 'alice', 100), (2, 'bob', 200), (3, 'carol', 300)",
+            ),
+        ],
+    )
+    return sim, db
+
+
+def test_reads_come_from_begin_snapshot(env):
+    sim, db = env
+    reader = db.begin()
+    # A later transaction commits an update...
+    run_txn(sim, db, [("UPDATE acct SET bal = 999 WHERE id = 1",)])
+    # ...but the reader still sees the old snapshot.
+    result = execute_sync(sim, db, reader, "SELECT bal FROM acct WHERE id = 1")
+    assert result.rows == [{"bal": 100}]
+    commit_sync(sim, db, reader)
+    assert query(sim, db, "SELECT bal FROM acct WHERE id = 1") == [{"bal": 999}]
+
+
+def test_snapshot_hides_concurrent_insert_and_delete(env):
+    sim, db = env
+    reader = db.begin()
+    run_txn(sim, db, [("INSERT INTO acct (id, owner, bal) VALUES (4, 'dave', 10)",)])
+    run_txn(sim, db, [("DELETE FROM acct WHERE id = 2",)])
+    result = execute_sync(sim, db, reader, "SELECT COUNT(*) AS n FROM acct")
+    assert result.rows == [{"n": 3}]
+    rows = execute_sync(sim, db, reader, "SELECT id FROM acct ORDER BY id").rows
+    assert [r["id"] for r in rows] == [1, 2, 3]
+    commit_sync(sim, db, reader)
+    rows = query(sim, db, "SELECT id FROM acct ORDER BY id")
+    assert [r["id"] for r in rows] == [1, 3, 4]
+
+
+def test_read_your_own_writes(env):
+    sim, db = env
+    txn = db.begin()
+    execute_sync(sim, db, txn, "UPDATE acct SET bal = 1 WHERE id = 1")
+    execute_sync(sim, db, txn, "INSERT INTO acct (id, owner, bal) VALUES (9, 'x', 5)")
+    rows = execute_sync(
+        sim, db, txn, "SELECT id, bal FROM acct WHERE id IN (1, 9) ORDER BY id"
+    ).rows
+    assert rows == [{"id": 1, "bal": 1}, {"id": 9, "bal": 5}]
+    commit_sync(sim, db, txn)
+
+
+def test_first_updater_wins_on_committed_conflict(env):
+    sim, db = env
+    t1 = db.begin()
+    t2 = db.begin()
+    execute_sync(sim, db, t1, "UPDATE acct SET bal = bal + 1 WHERE id = 1")
+    commit_sync(sim, db, t1)
+    # t2 is concurrent with t1 and writes the same row: version check fails.
+    with pytest.raises(SerializationFailure):
+        execute_sync(sim, db, t2, "UPDATE acct SET bal = bal + 2 WHERE id = 1")
+    assert t2.status == "aborted"
+    assert query(sim, db, "SELECT bal FROM acct WHERE id = 1") == [{"bal": 101}]
+
+
+def test_blocked_writer_aborts_after_holder_commits(env):
+    sim, db = env
+    outcome = {}
+
+    def t1_proc():
+        t1 = db.begin()
+        yield from db.execute(t1, "UPDATE acct SET bal = 10 WHERE id = 1")
+        yield sim.sleep(5.0)
+        yield from db.commit(t1)
+
+    def t2_proc():
+        t2 = db.begin()
+        yield sim.sleep(1.0)
+        try:
+            # blocks behind t1's row lock; after t1 commits, version check fails
+            yield from db.execute(t2, "UPDATE acct SET bal = 20 WHERE id = 1")
+            outcome["t2"] = "ok"
+        except SerializationFailure:
+            outcome["t2"] = "aborted"
+            outcome["at"] = sim.now
+
+    sim.spawn(t1_proc(), name="t1")
+    sim.spawn(t2_proc(), name="t2")
+    sim.run()
+    assert outcome["t2"] == "aborted"
+    assert outcome["at"] == 5.0  # woke exactly when t1 committed
+
+
+def test_blocked_writer_proceeds_after_holder_aborts(env):
+    sim, db = env
+    outcome = {}
+
+    def t1_proc():
+        t1 = db.begin()
+        yield from db.execute(t1, "UPDATE acct SET bal = 10 WHERE id = 1")
+        yield sim.sleep(5.0)
+        db.abort(t1)
+
+    def t2_proc():
+        t2 = db.begin()
+        yield sim.sleep(1.0)
+        yield from db.execute(t2, "UPDATE acct SET bal = 20 WHERE id = 1")
+        yield from db.commit(t2)
+        outcome["t2"] = "ok"
+
+    sim.spawn(t1_proc(), name="t1")
+    sim.spawn(t2_proc(), name="t2")
+    sim.run()
+    assert outcome["t2"] == "ok"
+    assert query(sim, db, "SELECT bal FROM acct WHERE id = 1") == [{"bal": 20}]
+
+
+def test_deadlock_between_writers(env):
+    sim, db = env
+    outcome = {}
+
+    def party(name, first, second, delay):
+        txn = db.begin()
+        yield from db.execute(txn, f"UPDATE acct SET bal = 0 WHERE id = {first}")
+        yield sim.sleep(delay)
+        try:
+            yield from db.execute(txn, f"UPDATE acct SET bal = 0 WHERE id = {second}")
+            yield from db.commit(txn)
+            outcome[name] = "ok"
+        except (DeadlockDetected, SerializationFailure) as err:
+            outcome[name] = type(err).__name__
+
+    sim.spawn(party("a", 1, 2, 1.0), name="a")
+    sim.spawn(party("b", 2, 1, 0.5), name="b")
+    sim.run()
+    # b blocks on row 1 at 0.5; a's request on row 2 at 1.0 closes the cycle.
+    assert outcome["a"] == "DeadlockDetected"
+    assert outcome["b"] == "ok"
+
+
+def test_duplicate_pk_insert_rejected(env):
+    sim, db = env
+    txn = db.begin()
+    with pytest.raises(IntegrityError):
+        execute_sync(
+            sim, db, txn, "INSERT INTO acct (id, owner, bal) VALUES (1, 'dup', 0)"
+        )
+    assert txn.status == "aborted"
+
+
+def test_insert_after_delete_same_txn_and_across_txns(env):
+    sim, db = env
+    run_txn(sim, db, [("DELETE FROM acct WHERE id = 1",)])
+    run_txn(sim, db, [("INSERT INTO acct (id, owner, bal) VALUES (1, 'new', 7)",)])
+    assert query(sim, db, "SELECT owner FROM acct WHERE id = 1") == [{"owner": "new"}]
+
+
+def test_concurrent_insert_same_pk_conflicts(env):
+    sim, db = env
+    t1 = db.begin()
+    t2 = db.begin()
+    execute_sync(sim, db, t1, "INSERT INTO acct (id, owner, bal) VALUES (5, 'x', 0)")
+    commit_sync(sim, db, t1)
+    with pytest.raises((SerializationFailure, IntegrityError)):
+        execute_sync(
+            sim, db, t2, "INSERT INTO acct (id, owner, bal) VALUES (5, 'y', 0)"
+        )
+
+
+def test_write_write_on_different_rows_no_conflict(env):
+    sim, db = env
+    t1 = db.begin()
+    t2 = db.begin()
+    execute_sync(sim, db, t1, "UPDATE acct SET bal = 1 WHERE id = 1")
+    execute_sync(sim, db, t2, "UPDATE acct SET bal = 2 WHERE id = 2")
+    commit_sync(sim, db, t1)
+    commit_sync(sim, db, t2)
+    rows = query(sim, db, "SELECT id, bal FROM acct WHERE id IN (1,2) ORDER BY id")
+    assert rows == [{"id": 1, "bal": 1}, {"id": 2, "bal": 2}]
+
+
+def test_readonly_commit_has_no_csn(env):
+    sim, db = env
+    txn = db.begin()
+    execute_sync(sim, db, txn, "SELECT * FROM acct")
+    csn_before = db.csn
+    assert commit_sync(sim, db, txn) is None
+    assert db.csn == csn_before
+
+
+def test_abort_discards_writes_and_is_idempotent(env):
+    sim, db = env
+    txn = db.begin()
+    execute_sync(sim, db, txn, "UPDATE acct SET bal = 0 WHERE id = 1")
+    db.abort(txn)
+    db.abort(txn)  # idempotent
+    assert query(sim, db, "SELECT bal FROM acct WHERE id = 1") == [{"bal": 100}]
+
+
+def test_operations_on_finished_txn_rejected(env):
+    sim, db = env
+    txn = db.begin()
+    commit_sync(sim, db, txn)
+    with pytest.raises(InvalidTransactionState):
+        execute_sync(sim, db, txn, "SELECT * FROM acct")
+    with pytest.raises(InvalidTransactionState):
+        commit_sync(sim, db, txn)
+
+
+def test_failed_statement_poisons_transaction(env):
+    sim, db = env
+    txn = db.begin()
+    with pytest.raises(Exception):
+        execute_sync(sim, db, txn, "SELECT * FROM no_such_table")
+    assert txn.status == "aborted"
+
+
+def test_history_records_begin_and_commit_events(env):
+    sim, db = env
+    before = len(db.history)
+    run_txn(sim, db, [("UPDATE acct SET bal = 5 WHERE id = 3",)], gid="G1")
+    events = db.history[before:]
+    assert events[0][0:2] == ("begin", "G1")
+    kind, gid, csn, readset, writeset = events[1]
+    assert (kind, gid) == ("commit", "G1")
+    assert csn == db.csn
+    assert ("acct", 3) in writeset
+    assert ("acct", 3) in readset  # the UPDATE read the row to compute bal
+
+
+# ---------------------------------------------------------------------------
+# Deferred (commit-time) conflict detection — the §3 idealised database
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def deferred_env():
+    sim = Simulator(seed=2)
+    db = Database(sim, name="R1", conflict_detection="deferred")
+    run_txn(
+        sim,
+        db,
+        [
+            ("CREATE TABLE acct (id INT PRIMARY KEY, bal INT)",),
+            ("INSERT INTO acct (id, bal) VALUES (1, 100), (2, 200)",),
+        ],
+    )
+    return sim, db
+
+
+def test_deferred_writers_do_not_block(deferred_env):
+    sim, db = deferred_env
+    t1 = db.begin()
+    t2 = db.begin()
+    # Both write the same row without blocking.
+    execute_sync(sim, db, t1, "UPDATE acct SET bal = 1 WHERE id = 1")
+    execute_sync(sim, db, t2, "UPDATE acct SET bal = 2 WHERE id = 1")
+    commit_sync(sim, db, t1)
+    with pytest.raises(SerializationFailure):
+        commit_sync(sim, db, t2)
+    assert query(sim, db, "SELECT bal FROM acct WHERE id = 1") == [{"bal": 1}]
+
+
+def test_deferred_non_conflicting_both_commit(deferred_env):
+    sim, db = deferred_env
+    t1 = db.begin()
+    t2 = db.begin()
+    execute_sync(sim, db, t1, "UPDATE acct SET bal = 1 WHERE id = 1")
+    execute_sync(sim, db, t2, "UPDATE acct SET bal = 2 WHERE id = 2")
+    commit_sync(sim, db, t1)
+    commit_sync(sim, db, t2)
+    rows = query(sim, db, "SELECT id, bal FROM acct ORDER BY id")
+    assert rows == [{"id": 1, "bal": 1}, {"id": 2, "bal": 2}]

@@ -1,0 +1,133 @@
+"""FOREIGN KEY (REFERENCES) enforcement: local checks, SI caveat pinned."""
+
+import pytest
+
+from repro.errors import CatalogError, IntegrityError
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="R")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE parent (id INT PRIMARY KEY, name TEXT)",),
+            (
+                "CREATE TABLE child (cid INT PRIMARY KEY, "
+                "pid INT REFERENCES parent, note TEXT)",
+            ),
+            ("CREATE INDEX i_child_pid ON child (pid)",),
+            ("INSERT INTO parent (id, name) VALUES (1, 'a'), (2, 'b')",),
+            ("INSERT INTO child (cid, pid, note) VALUES (10, 1, 'x')",),
+        ],
+    )
+    return sim, db
+
+
+def test_insert_with_valid_reference(env):
+    sim, db = env
+    run_txn(sim, db, [("INSERT INTO child (cid, pid, note) VALUES (11, 2, 'y')",)])
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM child") == [{"n": 2}]
+
+
+def test_insert_with_dangling_reference_rejected(env):
+    sim, db = env
+    txn = db.begin()
+    with pytest.raises(IntegrityError, match="references no row"):
+        execute_sync(
+            sim, db, txn, "INSERT INTO child (cid, pid, note) VALUES (12, 99, 'z')"
+        )
+    assert txn.status == "aborted"
+
+
+def test_null_reference_allowed(env):
+    sim, db = env
+    run_txn(sim, db, [("INSERT INTO child (cid, pid, note) VALUES (13, NULL, 'n')",)])
+    rows = query(sim, db, "SELECT pid FROM child WHERE cid = 13")
+    assert rows == [{"pid": None}]
+
+
+def test_update_to_dangling_reference_rejected(env):
+    sim, db = env
+    txn = db.begin()
+    with pytest.raises(IntegrityError, match="references no row"):
+        execute_sync(sim, db, txn, "UPDATE child SET pid = 77 WHERE cid = 10")
+
+
+def test_delete_referenced_parent_rejected(env):
+    sim, db = env
+    txn = db.begin()
+    with pytest.raises(IntegrityError, match="referenced by"):
+        execute_sync(sim, db, txn, "DELETE FROM parent WHERE id = 1")
+
+
+def test_delete_unreferenced_parent_allowed(env):
+    sim, db = env
+    run_txn(sim, db, [("DELETE FROM parent WHERE id = 2",)])
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM parent") == [{"n": 1}]
+
+
+def test_delete_children_then_parent(env):
+    sim, db = env
+    run_txn(sim, db, [("DELETE FROM child WHERE pid = 1",),
+                      ("DELETE FROM parent WHERE id = 1",)])
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM parent") == [{"n": 1}]
+
+
+def test_insert_child_referencing_own_uncommitted_parent(env):
+    sim, db = env
+    txn = db.begin()
+    execute_sync(sim, db, txn, "INSERT INTO parent (id, name) VALUES (3, 'c')")
+    execute_sync(sim, db, txn, "INSERT INTO child (cid, pid, note) VALUES (14, 3, 'w')")
+    commit_sync(sim, db, txn)
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM child WHERE pid = 3") == [
+        {"n": 1}
+    ]
+
+
+def test_concurrent_insert_cannot_see_uncommitted_parent(env):
+    sim, db = env
+    creator = db.begin()
+    execute_sync(sim, db, creator, "INSERT INTO parent (id, name) VALUES (4, 'd')")
+    other = db.begin()
+    with pytest.raises(IntegrityError):
+        execute_sync(
+            sim, db, other, "INSERT INTO child (cid, pid, note) VALUES (15, 4, 'v')"
+        )
+    db.abort(creator)
+
+
+def test_references_unknown_table_rejected():
+    sim = Simulator()
+    db = Database(sim)
+    with pytest.raises(CatalogError, match="unknown table"):
+        db.run_ddl("CREATE TABLE c (id INT PRIMARY KEY, x INT REFERENCES nope)")
+
+
+def test_si_caveat_cross_transaction_orphan_possible(env):
+    """Pinned caveat: SI certifies only write/write conflicts, so a
+    concurrent parent-delete and child-insert (disjoint writesets) can
+    both commit — exactly the class of constraint anomaly SI permits
+    (the paper: "Only conflicts between write operations are detected").
+    """
+    sim, db = env
+    deleter = db.begin()
+    inserter = db.begin()
+    # the deleter removes parent 2 (no children yet)
+    execute_sync(sim, db, deleter, "DELETE FROM parent WHERE id = 2")
+    # the inserter, on its own snapshot, still sees parent 2
+    execute_sync(
+        sim, db, inserter, "INSERT INTO child (cid, pid, note) VALUES (16, 2, 'o')"
+    )
+    commit_sync(sim, db, deleter)
+    commit_sync(sim, db, inserter)  # disjoint writesets: SI lets it pass
+    orphans = query(
+        sim, db,
+        "SELECT c.cid FROM child c LEFT JOIN parent p ON c.pid = p.id "
+        "WHERE p.id IS NULL AND c.pid IS NOT NULL",
+    )
+    assert orphans == [{"cid": 16}]  # the documented write-skew orphan

@@ -1,0 +1,179 @@
+"""Property-based tests: SI invariants under randomized histories.
+
+Hypothesis drives sequences of interleaved transactions against one
+replica and checks engine-level invariants that must hold for *any*
+interleaving:
+
+* the set of committed values matches a serial replay of the committed
+  write/write-ordered transactions (final-write correctness);
+* no two concurrent transactions that both committed wrote the same row
+  (the defining SI guarantee);
+* snapshot reads are stable for the lifetime of a transaction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    DeadlockDetected,
+    IntegrityError,
+    SerializationFailure,
+)
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import run_txn
+
+N_ROWS = 6
+
+# One action: (client, kind, row, value)
+#   kind: begin / read / write / commit / abort
+actions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),  # client
+        st.sampled_from(["begin", "read", "write", "commit", "abort"]),
+        st.integers(min_value=1, max_value=N_ROWS),  # row
+        st.integers(min_value=0, max_value=99),  # value
+    ),
+    min_size=4,
+    max_size=40,
+)
+
+
+def fresh(seed=0, mode="locking"):
+    sim = Simulator(seed=seed)
+    db = Database(sim, name="R", conflict_detection=mode)
+    run_txn(
+        sim,
+        db,
+        [
+            ("CREATE TABLE kv (k INT PRIMARY KEY, v INT)",),
+            (
+                "INSERT INTO kv (k, v) VALUES "
+                + ", ".join(f"({k}, 0)" for k in range(1, N_ROWS + 1)),
+            ),
+        ],
+    )
+    return sim, db
+
+
+def replay(sim, db, script, mode):
+    """Drive the script; return committed txn info dicts."""
+    committed = []
+    sessions = {}
+
+    def client(cid, steps):
+        txn = None
+        info = None
+        for kind, row, value in steps:
+            try:
+                if kind == "begin":
+                    if txn is not None and txn.active:
+                        db.abort(txn)
+                    txn = db.begin(gid=f"c{cid}-{sim.now}-{id(steps)}")
+                    info = {"writes": {}, "reads": {}, "snap": txn.snapshot_csn}
+                elif txn is None or not txn.active:
+                    continue
+                elif kind == "read":
+                    result = yield from db.execute(
+                        txn, "SELECT v FROM kv WHERE k = ?", (row,)
+                    )
+                    info["reads"].setdefault(row, []).append(result.scalar())
+                elif kind == "write":
+                    yield from db.execute(
+                        txn, "UPDATE kv SET v = ? WHERE k = ?", (value, row)
+                    )
+                    info["writes"][row] = value
+                elif kind == "commit":
+                    csn = yield from db.commit(txn)
+                    if info["writes"]:
+                        committed.append({"csn": csn, **info})
+                    txn = None
+                elif kind == "abort":
+                    db.abort(txn)
+                    txn = None
+            except (SerializationFailure, DeadlockDetected, IntegrityError):
+                txn = None
+            yield sim.sleep(0.01)
+        if txn is not None and txn.active:
+            db.abort(txn)
+
+    per_client: dict[int, list] = {}
+    for cid, kind, row, value in script:
+        per_client.setdefault(cid, []).append((kind, row, value))
+    for cid, steps in per_client.items():
+        sim.spawn(client(cid, steps), name=f"c{cid}")
+    sim.run()
+    return committed
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=actions, mode=st.sampled_from(["locking", "deferred"]))
+def test_final_state_matches_serial_replay_of_commits(script, mode):
+    sim, db = fresh(mode=mode)
+    committed = replay(sim, db, script, mode)
+    # Serial replay in csn order must reproduce the final visible state.
+    expected = {k: 0 for k in range(1, N_ROWS + 1)}
+    for info in sorted(committed, key=lambda i: i["csn"]):
+        expected.update(info["writes"])
+    from repro.testing import query
+
+    rows = query(sim, db, "SELECT k, v FROM kv ORDER BY k")
+    assert {r["k"]: r["v"] for r in rows} == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=actions, mode=st.sampled_from(["locking", "deferred"]))
+def test_no_two_concurrent_committed_writers_share_a_row(script, mode):
+    sim, db = fresh(mode=mode)
+    committed = replay(sim, db, script, mode)
+    for i, a in enumerate(committed):
+        for b in committed[i + 1:]:
+            overlap = set(a["writes"]) & set(b["writes"])
+            if not overlap:
+                continue
+            # One must have begun after the other committed.
+            concurrent = not (a["snap"] >= b["csn"] or b["snap"] >= a["csn"])
+            assert not concurrent, (
+                f"concurrent committed writers on rows {overlap}: {a} vs {b}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    writers=st.lists(
+        st.tuples(st.integers(1, N_ROWS), st.integers(0, 99)), min_size=1, max_size=10
+    )
+)
+def test_reader_sees_consistent_snapshot_despite_writers(writers):
+    """A long-running reader re-reads all rows while writers commit; every
+    re-read must equal the first read (snapshot stability)."""
+    sim, db = fresh(seed=7)
+    first_read = {}
+    violations = []
+
+    def reader():
+        txn = db.begin()
+        for _ in range(5):
+            result = yield from db.execute(txn, "SELECT k, v FROM kv ORDER BY k")
+            state = {r["k"]: r["v"] for r in result.rows}
+            if not first_read:
+                first_read.update(state)
+            elif state != first_read:
+                violations.append(state)
+            yield sim.sleep(1.0)
+        yield from db.commit(txn)
+
+    def writer(row, value, delay):
+        yield sim.sleep(delay)
+        txn = db.begin()
+        try:
+            yield from db.execute(txn, "UPDATE kv SET v = ? WHERE k = ?", (value, row))
+            yield from db.commit(txn)
+        except (SerializationFailure, DeadlockDetected):
+            pass
+
+    sim.spawn(reader(), name="reader")
+    for i, (row, value) in enumerate(writers):
+        sim.spawn(writer(row, value, 0.5 + i * 0.3), name=f"w{i}")
+    sim.run()
+    assert violations == []

@@ -1,0 +1,96 @@
+"""SI's known behaviours vs serializability (§2's [5, 14] background).
+
+Snapshot isolation permits *write skew* and long-fork-free reads; these
+tests pin that our engine is faithful SI — neither stricter (it must
+allow write skew) nor looser (it must forbid lost updates).
+"""
+
+import pytest
+
+from repro.errors import SerializationFailure
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="R")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE oncall (doc TEXT PRIMARY KEY, on_duty BOOL)",),
+            ("INSERT INTO oncall (doc, on_duty) VALUES ('alice', TRUE), "
+             "('bob', TRUE)",),
+        ],
+    )
+    return sim, db
+
+
+def test_write_skew_is_permitted(env):
+    """Both doctors check 'someone else is on duty' and both go off duty
+    — disjoint writesets, so SI commits both (not serializable)."""
+    sim, db = env
+    t1 = db.begin()
+    t2 = db.begin()
+    n1 = execute_sync(
+        sim, db, t1, "SELECT COUNT(*) AS n FROM oncall WHERE on_duty = TRUE"
+    ).scalar()
+    n2 = execute_sync(
+        sim, db, t2, "SELECT COUNT(*) AS n FROM oncall WHERE on_duty = TRUE"
+    ).scalar()
+    assert n1 == n2 == 2  # both see the other still on duty
+    execute_sync(sim, db, t1, "UPDATE oncall SET on_duty = FALSE WHERE doc = 'alice'")
+    execute_sync(sim, db, t2, "UPDATE oncall SET on_duty = FALSE WHERE doc = 'bob'")
+    commit_sync(sim, db, t1)
+    commit_sync(sim, db, t2)  # SI: disjoint writesets, both commit
+    rows = query(sim, db, "SELECT COUNT(*) AS n FROM oncall WHERE on_duty = TRUE")
+    assert rows == [{"n": 0}]  # the serializability anomaly, as SI allows
+
+
+def test_lost_update_is_prevented(env):
+    """Two read-modify-writes of the same row: SI aborts one (no lost
+    updates, unlike READ COMMITTED)."""
+    sim, db = env
+    run_txn(sim, db, [("CREATE TABLE ctr (id INT PRIMARY KEY, n INT)",),
+                      ("INSERT INTO ctr (id, n) VALUES (1, 0)",)])
+    t1 = db.begin()
+    t2 = db.begin()
+    v1 = execute_sync(sim, db, t1, "SELECT n FROM ctr WHERE id = 1").scalar()
+    v2 = execute_sync(sim, db, t2, "SELECT n FROM ctr WHERE id = 1").scalar()
+    execute_sync(sim, db, t1, "UPDATE ctr SET n = ? WHERE id = 1", (v1 + 1,))
+    commit_sync(sim, db, t1)
+    with pytest.raises(SerializationFailure):
+        execute_sync(sim, db, t2, "UPDATE ctr SET n = ? WHERE id = 1", (v2 + 1,))
+    assert query(sim, db, "SELECT n FROM ctr WHERE id = 1") == [{"n": 1}]
+
+
+def test_read_only_transactions_never_abort(env):
+    """Reads take no locks and pass no validation: a reader overlapping
+    arbitrarily many writers always commits."""
+    sim, db = env
+    reader = db.begin()
+    for i in range(10):
+        run_txn(sim, db, [
+            ("UPDATE oncall SET on_duty = ? WHERE doc = 'alice'", (i % 2 == 0,))
+        ])
+        execute_sync(sim, db, reader, "SELECT COUNT(*) AS n FROM oncall")
+    assert commit_sync(sim, db, reader) is None  # read-only: no csn
+
+
+def test_phantom_behaviour_under_si(env):
+    """Inserts by concurrent transactions are invisible to an old
+    snapshot (no phantoms *within* a transaction)."""
+    sim, db = env
+    reader = db.begin()
+    first = execute_sync(
+        sim, db, reader, "SELECT COUNT(*) AS n FROM oncall"
+    ).scalar()
+    run_txn(sim, db, [("INSERT INTO oncall (doc, on_duty) VALUES ('carol', TRUE)",)])
+    second = execute_sync(
+        sim, db, reader, "SELECT COUNT(*) AS n FROM oncall"
+    ).scalar()
+    assert first == second == 2
+    commit_sync(sim, db, reader)
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM oncall") == [{"n": 3}]

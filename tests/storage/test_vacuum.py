@@ -1,0 +1,89 @@
+"""VACUUM: version pruning respecting active snapshots."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import Database
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+@pytest.fixture
+def env():
+    sim = Simulator(seed=1)
+    db = Database(sim, name="R")
+    run_txn(
+        sim, db,
+        [
+            ("CREATE TABLE kv (k INT PRIMARY KEY, v INT)",),
+            ("INSERT INTO kv (k, v) VALUES (1, 0), (2, 0)",),
+        ],
+    )
+    return sim, db
+
+
+def bump(sim, db, key, times):
+    for i in range(times):
+        run_txn(sim, db, [("UPDATE kv SET v = ? WHERE k = ?", (i + 1, key))])
+
+
+def test_vacuum_prunes_dead_versions(env):
+    sim, db = env
+    bump(sim, db, 1, 5)
+    before = db.version_count()
+    removed = db.vacuum()
+    assert removed == 5  # five superseded versions of row 1
+    assert db.version_count() == before - 5
+    assert query(sim, db, "SELECT v FROM kv WHERE k = 1") == [{"v": 5}]
+
+
+def test_vacuum_keeps_versions_visible_to_active_snapshot(env):
+    sim, db = env
+    reader = db.begin()  # snapshot before the updates
+    execute_sync(sim, db, reader, "SELECT v FROM kv WHERE k = 1")
+    bump(sim, db, 1, 4)
+    db.vacuum()
+    # the reader's version survived the vacuum
+    result = execute_sync(sim, db, reader, "SELECT v FROM kv WHERE k = 1")
+    assert result.rows == [{"v": 0}]
+    commit_sync(sim, db, reader)
+    # now nothing protects the old versions
+    removed = db.vacuum()
+    assert removed > 0
+    assert query(sim, db, "SELECT v FROM kv WHERE k = 1") == [{"v": 4}]
+
+
+def test_vacuum_removes_invisible_tombstoned_rows(env):
+    sim, db = env
+    run_txn(sim, db, [("DELETE FROM kv WHERE k = 2",)])
+    assert db.vacuum() >= 2  # the insert version and the tombstone
+    table = db.catalog.table("kv")
+    assert 2 not in table.rows
+    assert query(sim, db, "SELECT COUNT(*) AS n FROM kv") == [{"n": 1}]
+
+
+def test_vacuum_keeps_visible_tombstone_for_old_reader(env):
+    sim, db = env
+    reader = db.begin()
+    execute_sync(sim, db, reader, "SELECT COUNT(*) AS n FROM kv")
+    run_txn(sim, db, [("DELETE FROM kv WHERE k = 2",)])
+    db.vacuum()
+    result = execute_sync(sim, db, reader, "SELECT COUNT(*) AS n FROM kv")
+    assert result.rows == [{"n": 2}]  # old snapshot still sees the row
+    commit_sync(sim, db, reader)
+
+
+def test_vacuum_idempotent(env):
+    sim, db = env
+    bump(sim, db, 1, 3)
+    db.vacuum()
+    assert db.vacuum() == 0
+
+
+def test_vacuum_after_reinsert(env):
+    sim, db = env
+    run_txn(sim, db, [("DELETE FROM kv WHERE k = 1",)])
+    run_txn(sim, db, [("INSERT INTO kv (k, v) VALUES (1, 9)",)])
+    db.vacuum()
+    assert query(sim, db, "SELECT v FROM kv WHERE k = 1") == [{"v": 9}]
+    table = db.catalog.table("kv")
+    assert len(table.rows[1]) == 1  # only the live version remains

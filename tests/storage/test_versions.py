@@ -1,0 +1,61 @@
+"""Unit tests for version chains and snapshot visibility."""
+
+import pytest
+
+from repro.storage.versions import Version, VersionChain
+
+
+def chain_with(*specs):
+    chain = VersionChain()
+    for csn, values in specs:
+        chain.install(Version(csn, values))
+    return chain
+
+
+def test_empty_chain_invisible():
+    chain = VersionChain()
+    assert chain.visible(100) is None
+    assert chain.latest() is None
+    assert chain.visible_values(100) is None
+
+
+def test_visibility_respects_snapshot():
+    chain = chain_with((1, {"v": "a"}), (5, {"v": "b"}), (9, {"v": "c"}))
+    assert chain.visible_values(0) is None
+    assert chain.visible_values(1) == {"v": "a"}
+    assert chain.visible_values(4) == {"v": "a"}
+    assert chain.visible_values(5) == {"v": "b"}
+    assert chain.visible_values(8) == {"v": "b"}
+    assert chain.visible_values(9) == {"v": "c"}
+    assert chain.visible_values(1000) == {"v": "c"}
+
+
+def test_tombstone_hides_row():
+    chain = chain_with((1, {"v": "a"}), (3, None))
+    assert chain.visible_values(2) == {"v": "a"}
+    assert chain.visible_values(3) is None
+    assert chain.visible(3).is_delete
+
+
+def test_reinsert_after_delete():
+    chain = chain_with((1, {"v": "a"}), (3, None), (7, {"v": "b"}))
+    assert chain.visible_values(3) is None
+    assert chain.visible_values(7) == {"v": "b"}
+
+
+def test_latest_ignores_snapshot():
+    chain = chain_with((1, {"v": "a"}), (5, {"v": "b"}))
+    assert chain.latest().csn == 5
+
+
+def test_non_monotonic_install_rejected():
+    chain = chain_with((5, {"v": "a"}))
+    with pytest.raises(AssertionError):
+        chain.install(Version(5, {"v": "b"}))
+    with pytest.raises(AssertionError):
+        chain.install(Version(3, {"v": "b"}))
+
+
+def test_len_counts_versions():
+    chain = chain_with((1, {"v": "a"}), (2, None), (3, {"v": "c"}))
+    assert len(chain) == 3

@@ -1,0 +1,185 @@
+"""Writeset extraction and application (the paper's PostgreSQL extension)."""
+
+import pytest
+
+from repro.errors import SerializationFailure
+from repro.sim import Simulator
+from repro.storage import Database, WriteOp, WriteSet
+from repro.storage.writeset import DELETE, INSERT, UPDATE
+from repro.testing import commit_sync, execute_sync, query, run_txn
+
+
+def fresh_db(sim, name="R", conflict_detection="locking"):
+    db = Database(sim, name=name, conflict_detection=conflict_detection)
+    run_txn(
+        sim,
+        db,
+        [
+            ("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",),
+            ("INSERT INTO t (id, v) VALUES (1, 'a'), (2, 'b')",),
+        ],
+    )
+    return db
+
+
+# -- WriteSet structure ---------------------------------------------------------
+
+def test_keys_and_conflicts():
+    ws1 = WriteSet([WriteOp("t", 1, UPDATE, {"id": 1, "v": "x"})])
+    ws2 = WriteSet([WriteOp("t", 1, DELETE, None), WriteOp("t", 2, UPDATE, {})])
+    ws3 = WriteSet([WriteOp("u", 1, INSERT, {"id": 1})])
+    assert ws1.conflicts_with(ws2)
+    assert ws2.conflicts_with(ws1)
+    assert not ws1.conflicts_with(ws3)  # same pk, different table
+    assert ws1.keys == frozenset({("t", 1)})
+    assert ws2.tables() == frozenset({"t"})
+
+
+def test_empty_writeset_falsy():
+    assert not WriteSet()
+    assert len(WriteSet()) == 0
+
+
+def test_add_invalidates_key_cache():
+    ws = WriteSet()
+    assert ws.keys == frozenset()
+    ws.add(WriteOp("t", 5, INSERT, {"id": 5}))
+    assert ws.keys == frozenset({("t", 5)})
+
+
+# -- extraction ----------------------------------------------------------------
+
+def test_extraction_before_commit_preserves_statement_order():
+    sim = Simulator()
+    db = fresh_db(sim)
+    txn = db.begin()
+    execute_sync(sim, db, txn, "UPDATE t SET v = 'x' WHERE id = 2")
+    execute_sync(sim, db, txn, "INSERT INTO t (id, v) VALUES (3, 'c')")
+    execute_sync(sim, db, txn, "DELETE FROM t WHERE id = 1")
+    ws = db.get_writeset(txn)
+    assert [(op.op, op.pk) for op in ws] == [
+        (UPDATE, 2), (INSERT, 3), (DELETE, 1),
+    ]
+    assert ws.ops[0].values == {"id": 2, "v": "x"}
+    commit_sync(sim, db, txn)
+
+
+def test_extraction_collapses_multiple_writes_to_same_row():
+    sim = Simulator()
+    db = fresh_db(sim)
+    txn = db.begin()
+    execute_sync(sim, db, txn, "UPDATE t SET v = 'x' WHERE id = 1")
+    execute_sync(sim, db, txn, "UPDATE t SET v = 'y' WHERE id = 1")
+    ws = db.get_writeset(txn)
+    assert len(ws) == 1
+    assert ws.ops[0].values["v"] == "y"
+    db.abort(txn)
+
+
+def test_insert_then_update_stays_insert():
+    sim = Simulator()
+    db = fresh_db(sim)
+    txn = db.begin()
+    execute_sync(sim, db, txn, "INSERT INTO t (id, v) VALUES (7, 'new')")
+    execute_sync(sim, db, txn, "UPDATE t SET v = 'newer' WHERE id = 7")
+    ws = db.get_writeset(txn)
+    assert [(op.op, op.pk) for op in ws] == [(INSERT, 7)]
+    assert ws.ops[0].values["v"] == "newer"
+    db.abort(txn)
+
+
+def test_readonly_transaction_has_empty_writeset():
+    sim = Simulator()
+    db = fresh_db(sim)
+    txn = db.begin()
+    execute_sync(sim, db, txn, "SELECT * FROM t")
+    assert not db.get_writeset(txn)
+    commit_sync(sim, db, txn)
+
+
+# -- application ------------------------------------------------------------------
+
+def apply_ws(sim, remote_db, ws, gid="G-remote"):
+    def body():
+        txn = remote_db.begin(gid=gid, remote=True)
+        yield from remote_db.apply_writeset(txn, ws)
+        yield from remote_db.commit(txn)
+
+    sim.run_process(body())
+
+
+def test_apply_replays_after_images_on_remote_replica():
+    sim = Simulator()
+    local = fresh_db(sim, "local")
+    remote = fresh_db(sim, "remote")
+    txn = local.begin()
+    execute_sync(sim, local, txn, "UPDATE t SET v = 'x' WHERE id = 1")
+    execute_sync(sim, local, txn, "INSERT INTO t (id, v) VALUES (3, 'c')")
+    execute_sync(sim, local, txn, "DELETE FROM t WHERE id = 2")
+    ws = local.get_writeset(txn)
+    commit_sync(sim, local, txn)
+    apply_ws(sim, remote, ws)
+    rows = query(sim, remote, "SELECT id, v FROM t ORDER BY id")
+    assert rows == [{"id": 1, "v": "x"}, {"id": 3, "v": "c"}]
+    assert rows == query(sim, local, "SELECT id, v FROM t ORDER BY id")
+
+
+def test_apply_conflicting_with_committed_concurrent_fails():
+    sim = Simulator()
+    db = fresh_db(sim)
+    ws = WriteSet([WriteOp("t", 1, UPDATE, {"id": 1, "v": "remote"})])
+
+    def body():
+        txn = db.begin(remote=True)
+        # A local commit intervenes after the remote txn's snapshot.
+        yield from db.execute(db.begin(), "SELECT 1 FROM t WHERE id = 1")
+        local = db.begin()
+        yield from db.execute(local, "UPDATE t SET v = 'local' WHERE id = 1")
+        yield from db.commit(local)
+        yield from db.apply_writeset(txn, ws)
+
+    with pytest.raises(SerializationFailure):
+        sim.run_process(body())
+
+
+def test_apply_blocks_behind_local_writer_then_succeeds_after_abort():
+    sim = Simulator()
+    db = fresh_db(sim)
+    ws = WriteSet([WriteOp("t", 1, UPDATE, {"id": 1, "v": "remote"})])
+    outcome = {}
+
+    def local_proc():
+        local = db.begin()
+        yield from db.execute(local, "UPDATE t SET v = 'local' WHERE id = 1")
+        yield sim.sleep(3.0)
+        db.abort(local)  # as if middleware validation failed it
+
+    def remote_proc():
+        yield sim.sleep(1.0)
+        txn = db.begin(remote=True)
+        yield from db.apply_writeset(txn, ws)
+        yield from db.commit(txn)
+        outcome["done_at"] = sim.now
+
+    sim.spawn(local_proc(), name="local")
+    sim.spawn(remote_proc(), name="remote")
+    sim.run()
+    assert outcome["done_at"] == 3.0
+    assert query(sim, db, "SELECT v FROM t WHERE id = 1") == [{"v": "remote"}]
+
+
+def test_apply_delete_then_reinsert_round_trip():
+    sim = Simulator()
+    local = fresh_db(sim, "local")
+    remote = fresh_db(sim, "remote")
+    txn = local.begin()
+    execute_sync(sim, local, txn, "DELETE FROM t WHERE id = 1")
+    ws1 = local.get_writeset(txn)
+    commit_sync(sim, local, txn)
+    apply_ws(sim, remote, ws1, gid="G1")
+    txn = local.begin()
+    execute_sync(sim, local, txn, "INSERT INTO t (id, v) VALUES (1, 'back')")
+    ws2 = local.get_writeset(txn)
+    commit_sync(sim, local, txn)
+    apply_ws(sim, remote, ws2, gid="G2")
+    assert query(sim, remote, "SELECT v FROM t WHERE id = 1") == [{"v": "back"}]

@@ -1,0 +1,42 @@
+"""Every example script must run cleanly end to end (guards doc rot)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "bookstore.py",
+        "failover_demo.py",
+        "consistency_audit.py",
+        "recovery_demo.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "bookstore.py":
+        args.append("40")  # lighter load for the test run
+    completed = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # every example narrates something
+
+
+def test_quickstart_output_mentions_audit():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "1-copy-SI audit: OK" in completed.stdout

@@ -1,0 +1,64 @@
+"""Stats collector tests."""
+
+import math
+
+import pytest
+
+from repro.workloads.stats import Stats, mean_confidence_interval
+
+
+def test_mean_ci_basics():
+    mean, half = mean_confidence_interval([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert mean == 3.0
+    assert half > 0
+    # wider confidence -> wider interval
+    _mean99, half99 = mean_confidence_interval([1, 2, 3, 4, 5], confidence=0.99)
+    assert half99 > half
+
+
+def test_mean_ci_degenerate_cases():
+    mean, half = mean_confidence_interval([])
+    assert math.isnan(mean)
+    mean, half = mean_confidence_interval([7.0])
+    assert mean == 7.0 and half == float("inf")
+    mean, half = mean_confidence_interval([2.0, 2.0, 2.0])
+    assert (mean, half) == (2.0, 0.0)
+
+
+def test_categories_and_summary():
+    stats = Stats()
+    stats.record_commit("update", 0.010, at=1.0)
+    stats.record_commit("update", 0.020, at=2.0)
+    stats.record_commit("read-only", 0.005, at=3.0)
+    stats.record_abort("update", at=4.0)
+    assert stats.total_commits == 3
+    assert stats.total_aborts == 1
+    assert stats.abort_rate() == 0.25
+    summary = stats.summary()
+    assert summary["update"]["n"] == 2
+    assert summary["update"]["mean_ms"] == pytest.approx(15.0)
+    assert summary["read-only"]["mean_ms"] == pytest.approx(5.0)
+
+
+def test_warmup_discards_early_samples():
+    stats = Stats(warmup=10.0)
+    stats.record_commit("update", 0.5, at=5.0)  # discarded
+    stats.record_abort("update", at=5.0)  # discarded
+    stats.record_commit("update", 0.010, at=15.0)
+    assert stats.total_commits == 1
+    assert stats.total_aborts == 0
+    assert stats.mean_latency_ms("update") == pytest.approx(10.0)
+
+
+def test_throughput_over_window():
+    stats = Stats()
+    for i in range(11):
+        stats.record_commit("update", 0.001, at=float(i))
+    assert stats.throughput() == pytest.approx(1.1)  # 11 commits over 10s
+
+
+def test_throughput_degenerate():
+    stats = Stats()
+    assert stats.throughput() == 0.0
+    stats.record_commit("u", 0.001, at=1.0)
+    assert stats.throughput() == 0.0  # single point: no window
