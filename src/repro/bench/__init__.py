@@ -8,7 +8,9 @@ regenerates the series.
 
 from repro.bench.harness import (
     LoadPoint,
+    per_replica_cost,
     run_centralized,
+    run_sharded,
     run_sirep,
     run_tablelock,
     run_until_confident,
@@ -16,8 +18,10 @@ from repro.bench.harness import (
 
 __all__ = [
     "LoadPoint",
+    "per_replica_cost",
     "run_sirep",
     "run_centralized",
+    "run_sharded",
     "run_tablelock",
     "run_until_confident",
 ]

@@ -8,7 +8,6 @@ confidence intervals do not.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.bench.costs import (
     LargeDbCost,

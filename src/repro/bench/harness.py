@@ -1,7 +1,15 @@
-"""One experiment = system + workload + offered load -> measured point."""
+"""One experiment = system + workload + offered load -> measured point.
+
+Cost-model factories: :class:`~repro.core.cluster.ClusterConfig` takes
+the **canonical** per-replica-index signature ``Callable[[int],
+CostModel]`` (heterogeneous replicas need the index).  The ``run_*``
+entry points here accept the friendlier zero-arg ``Callable[[],
+CostModel]`` as well and adapt it via :func:`per_replica_cost`.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -10,6 +18,27 @@ from repro.core.baselines import CentralizedSystem, TableLockSystem
 from repro.storage.engine import CostModel
 from repro.workloads import ClientPool, ProcClientPool, Workload
 from repro.workloads.stats import Stats
+
+
+def per_replica_cost(
+    cost_model: Optional[Callable[..., CostModel]],
+) -> Optional[Callable[[int], CostModel]]:
+    """Adapt a cost-model factory to the canonical per-replica-index form.
+
+    Accepts either signature — ``lambda: MicroCost()`` (one model shape
+    for every replica) or ``lambda index: ...`` (per-replica
+    heterogeneity) — and returns the ``Callable[[int], CostModel]`` that
+    :class:`~repro.core.cluster.ClusterConfig` expects.
+    """
+    if cost_model is None:
+        return None
+    try:
+        takes_index = len(inspect.signature(cost_model).parameters) >= 1
+    except (TypeError, ValueError):  # builtins without introspectable sigs
+        takes_index = False
+    if takes_index:
+        return cost_model
+    return lambda _index: cost_model()
 
 
 @dataclass
@@ -64,7 +93,7 @@ def run_sirep(
             n_replicas=n_replicas,
             hole_sync=hole_sync,
             seed=seed,
-            cost_model=(lambda _i: cost_model()) if cost_model else None,
+            cost_model=per_replica_cost(cost_model),
             with_disk=with_disk,
         )
     )
@@ -93,9 +122,10 @@ def run_centralized(
     seed: int = 0,
 ) -> LoadPoint:
     """Measure the single-database passthrough baseline at one load."""
+    factory = per_replica_cost(cost_model)
     system = CentralizedSystem(
         seed=seed,
-        cost_model=cost_model() if cost_model else None,
+        cost_model=factory(0) if factory else None,
         with_disk=with_disk,
     )
     workload.install(system)
@@ -121,7 +151,7 @@ def run_kernel(
     system = KernelReplicatedSystem(
         n_replicas=n_replicas,
         seed=seed,
-        cost_model=(lambda _i: cost_model()) if cost_model else None,
+        cost_model=per_replica_cost(cost_model),
     )
     workload.install(system)
     pool = ClientPool(
@@ -177,6 +207,56 @@ def run_until_confident(
     return averaged, achieved
 
 
+def run_sharded(
+    workload: Workload,
+    load: float,
+    n_groups: int = 2,
+    replicas_per_group: int = 3,
+    hole_sync: bool = True,
+    cost_model: Optional[Callable[..., CostModel]] = None,
+    table_map: Optional[dict[str, int]] = None,
+    duration: float = 10.0,
+    warmup: float = 2.0,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> LoadPoint:
+    """Measure a sharded deployment (router entry point) at one load.
+
+    With ``table_map`` the partition is explicit; otherwise tables are
+    hash-placed.  The workload's transactions must respect the
+    single-group-write rule, or they surface as aborts.
+    """
+    from repro.shard import ShardClientPool, ShardConfig, ShardedCluster
+
+    cluster = ShardedCluster(
+        ShardConfig(
+            n_groups=n_groups,
+            replicas_per_group=replicas_per_group,
+            hole_sync=hole_sync,
+            seed=seed,
+            cost_model=per_replica_cost(cost_model),
+            partition="explicit" if table_map else "hash",
+            table_map=table_map,
+        )
+    )
+    workload.install(cluster)
+    pool = ShardClientPool(
+        cluster, workload, _n_clients(load), load, duration, warmup=warmup
+    )
+    stats = pool.run()
+    name = label or f"sharded x{n_groups}"
+    return _collect(
+        name,
+        load,
+        stats,
+        n_groups=n_groups,
+        update_commits=cluster.total_update_commits(),
+        certification_aborts=cluster.total_certification_aborts(),
+        cross_shard_readonly=cluster.router.stats_cross_shard_readonly,
+        rejected_cross_shard_writes=cluster.router.stats_rejected_writes,
+    )
+
+
 def run_tablelock(
     workload: Workload,
     load: float,
@@ -192,7 +272,7 @@ def run_tablelock(
         workload.procedures(),
         n_replicas=n_replicas,
         seed=seed,
-        cost_model=(lambda _i: cost_model()) if cost_model else None,
+        cost_model=per_replica_cost(cost_model),
         with_disk=with_disk,
     )
     workload.install(system)

@@ -106,6 +106,10 @@ class Connection:
         #: client keeps reading its own writes (session consistency)
         self._last_update_gid: Optional[str] = None
         self._resync_gid: Optional[str] = None
+        #: CSN of the snapshot the active transaction reads from (stamped
+        #: on every ExecuteResp); a sharded router reads this to build the
+        #: per-group snapshot vector of a cross-shard transaction.
+        self._snapshot_csn: Optional[int] = None
         self.failovers = 0
         self.closed = False
 
@@ -188,6 +192,8 @@ class Connection:
             raise protocol.unmarshal_error(response.error)
         self._gid = response.gid
         self._txn_active = True
+        if response.snapshot_csn is not None:
+            self._snapshot_csn = response.snapshot_csn
         result = QueryResult(
             rows=response.rows, columns=response.columns, rowcount=response.rowcount
         )
@@ -273,6 +279,11 @@ class Connection:
     def address(self) -> Optional[str]:
         """The middleware replica currently serving this connection."""
         return self._address
+
+    @property
+    def snapshot_csn(self) -> Optional[int]:
+        """Snapshot CSN of the most recent statement's transaction."""
+        return self._snapshot_csn
 
     @property
     def in_transaction(self) -> bool:

@@ -34,23 +34,52 @@ class ClusterConfig:
     gcs: GcsConfig = field(default_factory=GcsConfig)
     net_base_latency: float = 0.0002
     net_jitter: float = 0.0001
-    #: replica index -> CostModel (None = zero-cost, pure correctness)
+    #: replica index -> CostModel (None = zero-cost, pure correctness).
+    #: This per-replica-index signature is the CANONICAL cost-model factory
+    #: shape (heterogeneous replicas are expressible); the bench harness
+    #: also accepts a zero-arg factory and adapts it via
+    #: :func:`repro.bench.harness.per_replica_cost`.
     cost_model: Optional[Callable[[int], CostModel]] = None
     #: create a disk resource per replica (I/O-bound workloads, Fig. 6)
     with_disk: bool = False
     cpu_servers: int = 1
     #: attach a TraceLog recording per-transaction commit milestones
     trace: bool = False
+    #: replica names are ``f"{replica_prefix}{index}"``; a sharded
+    #: deployment gives each group a distinct prefix (e.g. ``"G1-R"``) so
+    #: hosts, GCS members, and gids stay unique on a shared network.
+    #: Must not contain ``"."`` or ``":"`` (reserved by the gid format).
+    replica_prefix: str = "R"
 
 
 class SIRepCluster:
-    """A running SI-Rep deployment inside one simulator."""
+    """A running SI-Rep deployment inside one simulator.
 
-    def __init__(self, config: Optional[ClusterConfig] = None):
+    By default the cluster owns its whole world: it creates the
+    simulator, the LAN, the GCS bus, and the discovery service.  A
+    sharded deployment (:class:`repro.shard.ShardedCluster`) instead
+    passes ``sim``/``network`` (shared: one clock, one LAN) and
+    per-group ``bus``/``discovery`` instances, so several replication
+    groups coexist in one simulation.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        sim: Optional[Simulator] = None,
+        network: Optional[Network] = None,
+        bus: Optional[GroupBus] = None,
+        discovery: Optional[DiscoveryService] = None,
+    ):
         self.config = config or ClusterConfig()
         cfg = self.config
-        self.sim = Simulator(seed=cfg.seed)
-        self.network = Network(
+        if "." in cfg.replica_prefix or ":" in cfg.replica_prefix:
+            raise ValueError(
+                f"replica_prefix {cfg.replica_prefix!r} may not contain '.' or ':'"
+            )
+        self.sim = sim if sim is not None else Simulator(seed=cfg.seed)
+        self.network = network if network is not None else Network(
             self.sim,
             latency=LatencyModel(
                 base=cfg.net_base_latency,
@@ -58,8 +87,10 @@ class SIRepCluster:
                 rng=self.sim.rng("net"),
             ),
         )
-        self.bus = GroupBus(self.sim, config=cfg.gcs)
-        self.discovery = DiscoveryService(self.sim)
+        self.bus = bus if bus is not None else GroupBus(self.sim, config=cfg.gcs)
+        self.discovery = (
+            discovery if discovery is not None else DiscoveryService(self.sim)
+        )
         from repro.core.tracing import TraceLog
 
         self.trace = TraceLog() if cfg.trace else None
@@ -74,7 +105,7 @@ class SIRepCluster:
 
     def _add_replica(self, index: int) -> None:
         cfg = self.config
-        name = f"R{index}"
+        name = f"{cfg.replica_prefix}{index}"
         cpu = Resource(self.sim, f"{name}.cpu", servers=cfg.cpu_servers)
         disk = Resource(self.sim, f"{name}.disk") if cfg.with_disk else None
         cost_model = cfg.cost_model(index) if cfg.cost_model else None
@@ -123,7 +154,7 @@ class SIRepCluster:
 
     def new_client_host(self, name: Optional[str] = None):
         self._client_count += 1
-        label = name or f"client-{self._client_count}"
+        label = name or self.network.unique_address("client")
         return self.network.register(label)
 
     # ------------------------------------------------------------------ faults
@@ -268,13 +299,16 @@ class SIRepCluster:
                     replica.node.cpu.utilization() if replica.node.cpu else 0.0
                 ),
             }
-        return {
+        out = {
             "now": self.sim.now,
             "commits": self.total_commits(),
             "certification_aborts": self.total_certification_aborts(),
             "gcs_deliveries": self.bus.delivered_count,
             "replicas": per_replica,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace.breakdown()
+        return out
 
     def stop(self) -> None:
         for replica in self.replicas:

@@ -34,7 +34,6 @@ from repro.core import protocol
 from repro.core.replica import ReplicaManager, ReplicaNode
 from repro.core.tocommit import Entry
 from repro.core.validation import Certifier, WsRecord
-from repro.errors import CertificationAborted
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus, Message, ViewChange
 from repro.net import LatencyModel, Network
 from repro.net.network import ChannelClosed

@@ -7,7 +7,7 @@ the [20] baseline), which matters in Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro import errors
@@ -37,6 +37,10 @@ class ExecuteResp:
     columns: tuple = ()
     rowcount: int = 0
     error: Optional[tuple[str, str]] = None  # (exception class name, message)
+    #: CSN of the snapshot the active transaction reads from; a sharded
+    #: router collects one per replication group into the snapshot
+    #: vector that stamps a cross-shard read-only transaction.
+    snapshot_csn: Optional[int] = None
 
 
 @dataclass(frozen=True)

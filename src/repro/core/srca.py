@@ -28,7 +28,7 @@ from typing import Any, Generator, Optional
 from repro.core.replica import ReplicaManager, ReplicaNode
 from repro.core.tocommit import Entry
 from repro.core.validation import Certifier, WsRecord
-from repro.errors import CertificationAborted, InvalidTransactionState
+from repro.errors import InvalidTransactionState
 from repro.sim import Simulator
 from repro.storage.engine import DEFERRED, LOCKING
 

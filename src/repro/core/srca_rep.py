@@ -384,6 +384,7 @@ class MiddlewareReplica:
             rows=result.rows,
             columns=result.columns,
             rowcount=result.rowcount,
+            snapshot_csn=session.txn.snapshot_csn,
         )
 
     def _replicated_ddl(self, sql: str) -> Generator[Any, Any, None]:

@@ -17,7 +17,6 @@ discussion reasons about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 PHASES = (
     ("execution", "begin", "commit_request"),
@@ -25,6 +24,21 @@ PHASES = (
     ("gcs_and_certification", "multicast", "certified"),
     ("commit_queue", "certified", "committed"),
 )
+
+PERCENTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample."""
+    if not ordered:
+        return float("nan")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
 @dataclass
@@ -44,19 +58,30 @@ class TraceLog:
         ]
 
     def breakdown(self) -> dict[str, float]:
-        """Mean seconds spent in each phase over completed transactions."""
+        """Per-phase latency stats over completed transactions.
+
+        For each phase (and for ``total``) the mean is reported under the
+        phase name, and the tail under ``{phase}_p50`` / ``_p95`` /
+        ``_p99`` — means hide the commit-queue tail that hole
+        synchronization produces under load, the percentiles show it.
+        """
         complete = self.complete_transactions()
         out: dict[str, float] = {"n": float(len(complete))}
         if not complete:
             return out
         for name, start, end in PHASES:
-            samples = [
+            samples = sorted(
                 stamps[end] - stamps[start]
                 for stamps in complete
                 if start in stamps and end in stamps
-            ]
+            )
             out[name] = sum(samples) / len(samples) if samples else float("nan")
-        out["total"] = sum(
+            for percent, suffix in PERCENTILES:
+                out[f"{name}_{suffix}"] = _quantile(samples, percent / 100.0)
+        totals = sorted(
             stamps["committed"] - stamps["begin"] for stamps in complete
-        ) / len(complete)
+        )
+        out["total"] = sum(totals) / len(totals)
+        for percent, suffix in PERCENTILES:
+            out[f"total_{suffix}"] = _quantile(totals, percent / 100.0)
         return out

@@ -13,7 +13,7 @@ identical to scanning ``ws_list`` but O(|WS|) per validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.storage.writeset import WriteSet

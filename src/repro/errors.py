@@ -100,6 +100,33 @@ class NoReplicaAvailable(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# Sharded deployment (repro.shard)
+# ---------------------------------------------------------------------------
+
+class ShardingError(DatabaseError):
+    """Base class for partial-replication routing errors."""
+
+
+class CrossShardWriteError(ShardingError):
+    """An update transaction touched more than one replication group.
+
+    Certification is per-group, so a multi-group update would need an
+    atomic commitment protocol across groups; the router rejects it and
+    rolls the transaction back on every group it touched.
+    """
+
+
+class CrossShardStatementError(ShardingError):
+    """A single statement (e.g. a join) referenced tables owned by
+    different replication groups; statements must be single-group."""
+
+
+class PlacementError(ShardingError):
+    """DDL or bulk load referenced a table the partitioner cannot place
+    (unknown table under an explicit map, or conflicting re-placement)."""
+
+
+# ---------------------------------------------------------------------------
 # Group communication
 # ---------------------------------------------------------------------------
 

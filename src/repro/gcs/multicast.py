@@ -91,10 +91,18 @@ class GroupMember:
 class GroupBus:
     """The sequencer: joins, total ordering, uniform delivery, crashes."""
 
-    def __init__(self, sim: Simulator, config: Optional[GcsConfig] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[GcsConfig] = None,
+        rng_stream: str = "gcs",
+    ):
+        # ``rng_stream`` keeps multiple buses on one simulator (a sharded
+        # deployment runs one bus per replication group) statistically
+        # independent: each draws jitter from its own named stream.
         self.sim = sim
         self.config = config or GcsConfig()
-        self._rng = sim.rng("gcs")
+        self._rng = sim.rng(rng_stream)
         self._members: dict[str, GroupMember] = {}
         self._seq = itertools.count(1)
         self.view_id = 0

@@ -15,7 +15,6 @@ from typing import Any, Generator, Optional
 
 from repro.errors import ReproError
 from repro.sim import Queue, Simulator
-from repro.sim.kernel import Process
 
 
 class ChannelClosed(ReproError):
@@ -43,6 +42,23 @@ class Network:
         self.sim = sim
         self.latency = latency or LatencyModel(rng=sim.rng("net"))
         self.hosts: dict[str, Host] = {}
+        self._label_counts: dict[str, int] = {}
+
+    def unique_address(self, prefix: str = "client") -> str:
+        """A fresh, never-registered address ``f"{prefix}-{n}"``.
+
+        Allocation lives on the network (not on each cluster) so that
+        several clusters sharing one LAN — a sharded deployment — never
+        hand out colliding client addresses.
+        """
+        count = self._label_counts.get(prefix, 0)
+        while True:
+            count += 1
+            address = f"{prefix}-{count}"
+            if address not in self.hosts:
+                break
+        self._label_counts[prefix] = count
+        return address
 
     def register(self, address: str) -> "Host":
         existing = self.hosts.get(address)

@@ -1,0 +1,38 @@
+"""Closed-loop clients driving a sharded deployment through the router.
+
+Identical think-time/measurement semantics to
+:class:`~repro.workloads.clients.ClientPool`; the only difference is the
+entry point: connections go through the :class:`ShardRouter`, which
+routes each transaction to its owning replication group.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.clients import ClientPool
+from repro.workloads.spec import Workload
+from repro.workloads.stats import Stats
+
+
+class ShardClientPool(ClientPool):
+    """Drives a :class:`~repro.shard.cluster.ShardedCluster`."""
+
+    def __init__(
+        self,
+        cluster,
+        workload: Workload,
+        n_clients: int,
+        target_tps: float,
+        duration: float,
+        warmup: float = 0.0,
+        seed_stream: str = "clients",
+    ):
+        self.system = cluster
+        self.sim = cluster.sim
+        self.workload = workload
+        self.n_clients = n_clients
+        self.target_tps = target_tps
+        self.duration = duration
+        self.stats = Stats(warmup=warmup)
+        # the router satisfies the Driver interface (connect -> connection)
+        self.driver = cluster.router
+        self._rng = self.sim.rng(seed_stream)

@@ -1,0 +1,313 @@
+"""Sharded SI-Rep: several replication groups inside one simulator.
+
+A :class:`ShardedCluster` assembles ``n_groups`` independent SRCA-Rep
+deployments (each a full :class:`~repro.core.cluster.SIRepCluster`) on a
+**shared** simulator and LAN.  Each group owns a disjoint table
+partition (see :class:`~repro.shard.partition.Partitioner`) and runs the
+paper's protocol unchanged within the group: writesets multicast on the
+group's own bus, certification order is per-group, and the update
+capacity of the whole deployment scales with the number of groups
+because no replica ever sees another group's writesets.
+
+Clients enter through the :class:`~repro.shard.router.ShardRouter`,
+which keeps update transactions single-group and scatter-gathers
+cross-shard read-only transactions over per-group snapshots stamped
+with a group-CSN vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.core.cluster import ClusterConfig, SIRepCluster
+from repro.errors import PlacementError, SQLError
+from repro.gcs import DiscoveryService, GcsConfig, GroupBus
+from repro.net import LatencyModel, Network
+from repro.shard.partition import Partitioner
+from repro.shard.router import ShardRouter
+from repro.si.onecopy import OneCopyReport
+from repro.sim import Simulator
+from repro.sql.parser import parse_cached
+from repro.storage.engine import CostModel
+
+
+@dataclass
+class ShardConfig:
+    """Shape of one sharded deployment."""
+
+    n_groups: int = 2
+    replicas_per_group: int = 3
+    #: True = SRCA-Rep within each group; False = SRCA-Opt
+    hole_sync: bool = True
+    seed: int = 0
+    gcs: GcsConfig = field(default_factory=GcsConfig)
+    net_base_latency: float = 0.0002
+    net_jitter: float = 0.0001
+    #: canonical per-replica-index factory (see ClusterConfig.cost_model);
+    #: the index is the replica's position within its group
+    cost_model: Optional[Callable[[int], CostModel]] = None
+    with_disk: bool = False
+    cpu_servers: int = 1
+    trace: bool = False
+    #: "hash" (balanced, deterministic) or "explicit" (requires table_map)
+    partition: str = "hash"
+    table_map: Optional[dict[str, int]] = None
+
+
+@dataclass
+class SnapshotStamp:
+    """One committed routed transaction's snapshot vector (audit log)."""
+
+    connection_id: int
+    vector: dict[int, int]
+    #: group -> replica address that served the branch; monotonicity is
+    #: audited per served replica (a failover may legitimately land on a
+    #: replica whose commit counter trails the crashed one's)
+    addresses: dict[int, str]
+    cross_shard: bool
+    at: float
+
+
+@dataclass
+class ShardedReport:
+    """Per-group 1-copy-SI audits plus the cross-shard freshness audit."""
+
+    groups: dict[str, OneCopyReport]
+    freshness_violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(report.ok for report in self.groups.values())
+            and not self.freshness_violations
+        )
+
+    def __str__(self) -> str:
+        parts = [
+            f"{name}: {'OK' if report.ok else report.violations}"
+            for name, report in self.groups.items()
+        ]
+        parts.append(
+            "freshness: "
+            + ("OK" if not self.freshness_violations else str(self.freshness_violations))
+        )
+        return "; ".join(parts)
+
+
+class ShardedCluster:
+    """A sharded SI-Rep deployment: groups + partitioner + router."""
+
+    def __init__(self, config: Optional[ShardConfig] = None):
+        self.config = config or ShardConfig()
+        cfg = self.config
+        self.sim = Simulator(seed=cfg.seed)
+        self.network = Network(
+            self.sim,
+            latency=LatencyModel(
+                base=cfg.net_base_latency,
+                jitter=cfg.net_jitter,
+                rng=self.sim.rng("net"),
+            ),
+        )
+        self.partitioner = Partitioner(
+            cfg.n_groups,
+            policy=cfg.partition,
+            table_map=cfg.table_map,
+            seed=cfg.seed,
+        )
+        self.groups: list[SIRepCluster] = []
+        for index in range(cfg.n_groups):
+            group_cfg = ClusterConfig(
+                n_replicas=cfg.replicas_per_group,
+                hole_sync=cfg.hole_sync,
+                seed=cfg.seed,
+                gcs=cfg.gcs,
+                cost_model=cfg.cost_model,
+                with_disk=cfg.with_disk,
+                cpu_servers=cfg.cpu_servers,
+                trace=cfg.trace,
+                replica_prefix=f"G{index}-R",
+            )
+            self.groups.append(
+                SIRepCluster(
+                    group_cfg,
+                    sim=self.sim,
+                    network=self.network,
+                    bus=GroupBus(
+                        self.sim, config=cfg.gcs, rng_stream=f"gcs-G{index}"
+                    ),
+                    discovery=DiscoveryService(self.sim),
+                )
+            )
+        self.router = ShardRouter(self)
+        self._snapshot_log: list[SnapshotStamp] = []
+
+    # ------------------------------------------------------------ data loading
+
+    def load_schema(self, ddl_statements: Iterable[str]) -> None:
+        """Place each CREATE statement and apply it in the owning group."""
+        for sql in ddl_statements:
+            statement = parse_cached(sql)
+            if statement.kind == "create_table":
+                group = self.partitioner.place(statement.table)
+            elif statement.kind == "create_index":
+                group = self.partitioner.group_of(statement.table)
+            else:
+                raise SQLError(f"load_schema only accepts CREATE statements: {sql!r}")
+            self.groups[group].load_schema([sql])
+
+    def bulk_load(self, table: str, rows: list[dict]) -> None:
+        """Seed initial data in the owning group (placement validated)."""
+        if not self.partitioner.knows(table):
+            raise PlacementError(
+                f"bulk load of {table!r} before its CREATE TABLE was placed"
+            )
+        self.groups[self.partitioner.group_of(table)].bulk_load(table, rows)
+
+    # ----------------------------------------------------------------- clients
+
+    def new_client_host(self, name: Optional[str] = None):
+        label = name or self.network.unique_address("shard-client")
+        return self.network.register(label)
+
+    def connect(self, host) -> Generator[Any, Any, Any]:
+        """Open a routed connection (convenience over ``router.connect``)."""
+        connection = yield from self.router.connect(host)
+        return connection
+
+    # ------------------------------------------------------------------ faults
+
+    def crash(self, group: int, index: int) -> None:
+        """Crash one replica of one group (the group's SRCA-Rep handles it)."""
+        self.groups[group].crash(index)
+
+    def recover_replica(self, group: int, index: int, donor_index: Optional[int] = None):
+        """Recover a crashed replica from a donor within its group."""
+        return self.groups[group].recover_replica(index, donor_index=donor_index)
+
+    def alive_replicas(self) -> list:
+        return [r for group in self.groups for r in group.alive_replicas()]
+
+    # ------------------------------------------------------------------ audits
+
+    def record_snapshot_vector(
+        self,
+        connection_id: int,
+        vector: dict[int, int],
+        addresses: dict[int, str],
+        cross_shard: bool,
+    ) -> None:
+        """Called by the router when a routed transaction commits."""
+        self._snapshot_log.append(
+            SnapshotStamp(
+                connection_id, dict(vector), dict(addresses), cross_shard, self.sim.now
+            )
+        )
+
+    @property
+    def snapshot_log(self) -> list[SnapshotStamp]:
+        return list(self._snapshot_log)
+
+    def snapshot_freshness_report(self) -> list[str]:
+        """Audit the recorded snapshot vectors (NMSI-style guarantees).
+
+        Checks, per routed transaction:
+
+        * **validity** — each vector component is a CSN the group has
+          actually produced (``<=`` the group's current max commit CSN);
+        * **per-connection monotonicity** — successive transactions of
+          one connection, while served by the *same* replica of a group,
+          never observe an older per-group snapshot than an earlier
+          transaction did (session monotonic reads; a failover may move
+          the branch to a replica whose commit counter trails, so the
+          high-water mark resets when the serving replica changes).
+
+        What is deliberately *not* checked: mutual freshness between the
+        components of one vector.  There is no global certification
+        order across groups, so a cross-shard read-only transaction sees
+        a vector of per-group-consistent — but possibly mutually stale —
+        snapshots (non-monotonic snapshot isolation).
+        """
+        violations: list[str] = []
+        max_csn = {
+            g: max(node.db.csn for node in group.nodes)
+            for g, group in enumerate(self.groups)
+        }
+        high_water: dict[tuple[int, int], tuple[Optional[str], int]] = {}
+        for stamp in self._snapshot_log:
+            for group, csn in stamp.vector.items():
+                if csn > max_csn[group]:
+                    violations.append(
+                        f"conn {stamp.connection_id} at t={stamp.at:.6f}: "
+                        f"group {group} snapshot csn {csn} exceeds the "
+                        f"group's max commit csn {max_csn[group]}"
+                    )
+                key = (stamp.connection_id, group)
+                address = stamp.addresses.get(group)
+                seen_address, seen_csn = high_water.get(key, (None, -1))
+                if address == seen_address and csn < seen_csn:
+                    violations.append(
+                        f"conn {stamp.connection_id} at t={stamp.at:.6f}: "
+                        f"group {group} snapshot went backwards on replica "
+                        f"{address!r} ({csn} after {seen_csn})"
+                    )
+                if address != seen_address:
+                    high_water[key] = (address, csn)
+                else:
+                    high_water[key] = (address, max(seen_csn, csn))
+        return violations
+
+    def one_copy_report(self) -> ShardedReport:
+        """Definition-3 audit per group + the cross-shard freshness audit.
+
+        Within a group the unsharded checker applies unchanged (the
+        group is a complete SI-Rep deployment over its tables); across
+        groups only snapshot-vector guarantees hold, so those are
+        audited separately.
+        """
+        return ShardedReport(
+            groups={
+                f"G{index}": group.one_copy_report()
+                for index, group in enumerate(self.groups)
+            },
+            freshness_violations=self.snapshot_freshness_report(),
+        )
+
+    # ------------------------------------------------------------------- stats
+
+    def total_commits(self) -> int:
+        return sum(group.total_commits() for group in self.groups)
+
+    def total_update_commits(self) -> int:
+        return sum(
+            replica.stats_commits
+            for group in self.groups
+            for replica in group.replicas
+        )
+
+    def total_certification_aborts(self) -> int:
+        return sum(group.total_certification_aborts() for group in self.groups)
+
+    def metrics(self) -> dict:
+        """Operational snapshot: per-group metrics plus router counters."""
+        return {
+            "now": self.sim.now,
+            "commits": self.total_commits(),
+            "update_commits": self.total_update_commits(),
+            "certification_aborts": self.total_certification_aborts(),
+            "cross_shard_readonly_commits": self.router.stats_cross_shard_readonly,
+            "rejected_cross_shard_writes": self.router.stats_rejected_writes,
+            "partition": {
+                f"G{index}": self.partitioner.tables_of(index)
+                for index in range(self.config.n_groups)
+            },
+            "groups": {
+                f"G{index}": group.metrics()
+                for index, group in enumerate(self.groups)
+            },
+        }
+
+    def stop(self) -> None:
+        for group in self.groups:
+            group.stop()

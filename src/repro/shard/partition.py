@@ -1,0 +1,148 @@
+"""Table -> replication-group placement for a sharded SI-Rep deployment.
+
+A :class:`Partitioner` owns the disjoint table partition of a
+:class:`~repro.shard.cluster.ShardedCluster`: every table belongs to
+exactly one replication group, and that group's SRCA-Rep instance fully
+replicates the table internally (partial replication across groups, full
+replication within a group — the fragment/group model of Sutra &
+Shapiro's fault-tolerant partial replication).
+
+Two policies:
+
+* ``hash`` — deterministic rendezvous hashing with greedy balancing.
+  Each table ranks the groups by a seeded hash of ``(table, group)``;
+  placement picks the least-loaded group, breaking ties by the table's
+  rendezvous order.  The greedy step guarantees at most one table of
+  skew between any two groups, and the seeded hash makes the map a pure
+  function of (seed, placement order).
+* ``explicit`` — a user-supplied ``table_map`` (table name -> group
+  index), validated eagerly; unknown tables are placement errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import PlacementError
+
+HASH = "hash"
+EXPLICIT = "explicit"
+
+
+def _stable_hash(seed: int, *parts: object) -> int:
+    """A process-independent 64-bit hash (``hash()`` is salted per run)."""
+    text = "/".join(str(part) for part in (seed, *parts))
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
+    )
+
+
+class Partitioner:
+    """Assigns tables to replication groups and validates placement."""
+
+    def __init__(
+        self,
+        n_groups: int,
+        policy: str = HASH,
+        table_map: Optional[Mapping[str, int]] = None,
+        seed: int = 0,
+    ):
+        if n_groups < 1:
+            raise PlacementError(f"need at least one group, got {n_groups}")
+        if policy not in (HASH, EXPLICIT):
+            raise PlacementError(f"unknown partition policy {policy!r}")
+        if policy == EXPLICIT:
+            if table_map is None:
+                raise PlacementError("explicit policy requires a table_map")
+            for table, group in table_map.items():
+                if not 0 <= group < n_groups:
+                    raise PlacementError(
+                        f"table {table!r} mapped to group {group}, but only "
+                        f"groups 0..{n_groups - 1} exist"
+                    )
+        self.n_groups = n_groups
+        self.policy = policy
+        self.seed = seed
+        self._explicit = dict(table_map) if table_map else {}
+        #: placements actually made (hash policy grows this lazily;
+        #: explicit policy copies the map on first use)
+        self._assignment: dict[str, int] = {}
+
+    # ------------------------------------------------------------- placement
+
+    def place(self, table: str) -> int:
+        """Assign ``table`` to a group (idempotent); returns the group.
+
+        Under the hash policy the placement is greedy-balanced; under the
+        explicit policy the table must appear in the supplied map.
+        """
+        existing = self._assignment.get(table)
+        if existing is not None:
+            return existing
+        if self.policy == EXPLICIT:
+            group = self._explicit.get(table)
+            if group is None:
+                raise PlacementError(
+                    f"table {table!r} is not in the explicit table_map"
+                )
+        else:
+            group = self._hash_place(table)
+        self._assignment[table] = group
+        return group
+
+    def place_all(self, tables: Iterable[str]) -> dict[str, int]:
+        """Place a batch of tables; returns the resulting sub-map."""
+        return {table: self.place(table) for table in tables}
+
+    def _hash_place(self, table: str) -> int:
+        # rendezvous order: the table's deterministic group preference
+        ranked = sorted(
+            range(self.n_groups),
+            key=lambda group: _stable_hash(self.seed, table, group),
+            reverse=True,
+        )
+        loads = self.group_counts()
+        lightest = min(loads)
+        # greedy balance (skew <= 1 always), tie-broken by rendezvous rank
+        for group in ranked:
+            if loads[group] == lightest:
+                return group
+        return ranked[0]  # unreachable: some group always has the min load
+
+    # --------------------------------------------------------------- queries
+
+    def group_of(self, table: str) -> int:
+        """The owning group of a placed table (PlacementError if none)."""
+        group = self._assignment.get(table)
+        if group is None and self.policy == EXPLICIT:
+            group = self._explicit.get(table)
+        if group is None:
+            raise PlacementError(f"table {table!r} has not been placed")
+        return group
+
+    def knows(self, table: str) -> bool:
+        """True once the table has actually been placed (its CREATE ran);
+        an explicit map entry alone is a plan, not a placement."""
+        return table in self._assignment
+
+    def tables_of(self, group: int) -> tuple[str, ...]:
+        return tuple(
+            sorted(t for t, g in self._assignment.items() if g == group)
+        )
+
+    def group_counts(self) -> list[int]:
+        counts = [0] * self.n_groups
+        for group in self._assignment.values():
+            counts[group] += 1
+        return counts
+
+    @property
+    def assignment(self) -> dict[str, int]:
+        return dict(self._assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Partitioner {self.policy} groups={self.n_groups} "
+            f"tables={len(self._assignment)} counts={self.group_counts()}>"
+        )

@@ -1,0 +1,267 @@
+"""The snapshot-consistent cross-shard router (client entry point).
+
+A :class:`RouterConnection` looks like a normal driver
+:class:`~repro.client.driver.Connection` (execute/commit/rollback), but
+fans statements out over the per-group SI-Rep deployments:
+
+* every **statement** must reference tables of a single group (joins and
+  subqueries included) — otherwise :class:`CrossShardStatementError`;
+* an **update transaction** must stay within one group: its writes are
+  certified by that group's SRCA-Rep exactly as in the unsharded system.
+  Touching a second group once a write happened (or writing after a
+  second group was touched) raises :class:`CrossShardWriteError` and
+  rolls the transaction back everywhere — there is no cross-group
+  atomic commitment protocol (yet);
+* a **cross-shard read-only transaction** scatter-gathers over one
+  branch transaction per touched group.  Each branch reads a consistent
+  per-group SI snapshot; the router stamps the transaction with the
+  **snapshot vector** ``{group: snapshot_csn}``.  There is *no* global
+  snapshot — per Ardekani et al.'s non-monotonic snapshot isolation
+  analysis, the vector components may be mutually stale — but each
+  component is internally consistent and, per connection, monotonically
+  non-decreasing (the cluster's freshness audit checks both).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Generator, Optional
+
+from repro.client import Driver
+from repro.errors import (
+    CrossShardStatementError,
+    CrossShardWriteError,
+    DatabaseError,
+)
+from repro.sql.parser import parse_cached
+
+#: statement kinds that stage writes
+_WRITE_KINDS = ("insert", "update", "delete")
+_DDL_KINDS = ("create_table", "create_index")
+
+
+def referenced_tables(statement: Any) -> set[str]:
+    """Every table a parsed statement touches (joins + subqueries)."""
+    tables: set[str] = set()
+    _collect_tables(statement, tables)
+    return tables
+
+
+def _collect_tables(node: Any, out: set[str]) -> None:
+    if node is None or isinstance(node, (str, int, float, bool, bytes)):
+        return
+    if isinstance(node, (tuple, list)):
+        for item in node:
+            _collect_tables(item, out)
+        return
+    if not dataclasses.is_dataclass(node):
+        return
+    name = type(node).__name__
+    if name == "Column":
+        return  # Column.table is a qualifier alias, not a table reference
+    if name == "Join":
+        out.add(node.table)
+    elif getattr(node, "kind", None) in ("select", "insert", "update", "delete", *_DDL_KINDS):
+        out.add(node.table)
+    for field in dataclasses.fields(node):
+        _collect_tables(getattr(node, field.name), out)
+
+
+class ShardRouter:
+    """Routes driver traffic to the owning replication groups."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.drivers = [
+            Driver(cluster.network, group.discovery) for group in cluster.groups
+        ]
+        self.stats_cross_shard_readonly = 0
+        self.stats_rejected_writes = 0
+
+    def connect(self, host, address: Optional[str] = None) -> Generator[Any, Any, "RouterConnection"]:
+        """Open a routed connection from ``host``.
+
+        Mirrors :meth:`repro.client.driver.Driver.connect`; per-group
+        branch connections are opened lazily on first touch.
+        """
+        connection = RouterConnection(self, host)
+        return connection
+        yield  # pragma: no cover - makes this a generator like Driver.connect
+
+    # -- routing ---------------------------------------------------------------
+
+    def groups_for(self, sql: str) -> tuple[str, set[int]]:
+        """(statement kind, owning groups) for one SQL string."""
+        statement = parse_cached(sql)
+        partitioner = self.cluster.partitioner
+        if statement.kind == "create_table":
+            return statement.kind, {partitioner.place(statement.table)}
+        tables = referenced_tables(statement)
+        groups = {partitioner.group_of(table) for table in tables}
+        return statement.kind, groups
+
+
+class RouterConnection:
+    """A JDBC-style connection that spans replication groups."""
+
+    _ids = 0
+
+    def __init__(self, router: ShardRouter, host):
+        RouterConnection._ids += 1
+        self.id = RouterConnection._ids
+        self.router = router
+        self.host = host
+        self.autocommit = False
+        self.closed = False
+        #: group -> live branch Connection (kept across transactions)
+        self._branches: dict[int, Any] = {}
+        #: groups touched by the current transaction
+        self._touched: set[int] = set()
+        #: the single group the current transaction has written to
+        self._write_group: Optional[int] = None
+        #: group -> snapshot csn observed at the branch's first statement
+        self._vector: dict[int, int] = {}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _branch(self, group: int) -> Generator[Any, Any, Any]:
+        connection = self._branches.get(group)
+        if connection is None:
+            connection = yield from self.router.drivers[group].connect(self.host)
+            self._branches[group] = connection
+        return connection
+
+    def _reset(self) -> None:
+        self._touched = set()
+        self._write_group = None
+        self._vector = {}
+
+    def _abandon(self) -> Generator[Any, Any, None]:
+        """Roll back every touched branch (cross-shard rejection path)."""
+        for group in sorted(self._touched):
+            branch = self._branches.get(group)
+            if branch is not None:
+                try:
+                    yield from branch.rollback()
+                except DatabaseError:
+                    pass
+        self._reset()
+
+    # -- public surface --------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple = ()) -> Generator[Any, Any, Any]:
+        """Route one statement to its owning group.
+
+        Starts a branch transaction on that group if none is active.
+        """
+        self._check_open()
+        kind, groups = self.router.groups_for(sql)
+        if len(groups) != 1:
+            yield from self._abandon()
+            raise CrossShardStatementError(
+                f"statement references tables of groups {sorted(groups)}; "
+                "each statement must be single-group"
+            )
+        (group,) = groups
+        if kind in _DDL_KINDS:
+            result = yield from self._execute_ddl(group, sql, params)
+            return result
+        if kind in _WRITE_KINDS:
+            if self._touched - {group}:
+                touched = sorted(self._touched)
+                self.router.stats_rejected_writes += 1
+                yield from self._abandon()
+                raise CrossShardWriteError(
+                    f"update statement on group {group} but the transaction "
+                    f"already touched groups {touched}; "
+                    "multi-group transactions must be read-only"
+                )
+            self._write_group = group
+        elif self._write_group is not None and group != self._write_group:
+            self.router.stats_rejected_writes += 1
+            yield from self._abandon()
+            raise CrossShardWriteError(
+                f"read on group {group} inside an update transaction bound "
+                f"to group {self._write_group}; updates are single-group"
+            )
+        branch = yield from self._branch(group)
+        try:
+            result = yield from branch.execute(sql, params)
+        except DatabaseError:
+            # the failing branch is already rolled back middleware-side;
+            # abandon the siblings so the client restarts cleanly
+            self._touched.discard(group)
+            yield from self._abandon()
+            raise
+        self._touched.add(group)
+        if group not in self._vector and branch.snapshot_csn is not None:
+            self._vector[group] = branch.snapshot_csn
+        if self.autocommit:
+            yield from self.commit()
+        return result
+
+    def _execute_ddl(self, group: int, sql: str, params: tuple) -> Generator[Any, Any, Any]:
+        if self._touched:
+            yield from self._abandon()
+            raise CrossShardWriteError("DDL is not allowed inside a transaction")
+        branch = yield from self._branch(group)
+        result = yield from branch.execute(sql, params)
+        yield from branch.commit()
+        return result
+
+    def commit(self) -> Generator[Any, Any, None]:
+        """Commit every branch of the current transaction.
+
+        Multi-group transactions are read-only by construction, so each
+        branch commit is trivial; the single write branch (if any) runs
+        the full SRCA-Rep certification of its group.
+        """
+        self._check_open()
+        touched = sorted(self._touched)
+        vector = dict(self._vector)
+        addresses = {
+            group: self._branches[group].address
+            for group in touched
+            if self._branches.get(group) is not None
+        }
+        cross_shard = len(touched) > 1
+        failure: Optional[DatabaseError] = None
+        for group in touched:
+            try:
+                yield from self._branches[group].commit()
+            except DatabaseError as err:
+                if failure is None:
+                    failure = err
+        self._reset()
+        if failure is not None:
+            raise failure
+        if touched:
+            if cross_shard:
+                self.router.stats_cross_shard_readonly += 1
+            self.router.cluster.record_snapshot_vector(
+                self.id, vector, addresses, cross_shard=cross_shard
+            )
+
+    def rollback(self) -> Generator[Any, Any, None]:
+        self._check_open()
+        yield from self._abandon()
+
+    def close(self) -> None:
+        self.closed = True
+        for branch in self._branches.values():
+            branch.close()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._touched)
+
+    @property
+    def snapshot_vector(self) -> dict[int, int]:
+        """{group: snapshot csn} of the current transaction so far."""
+        return dict(self._vector)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise DatabaseError("connection is closed")

@@ -14,7 +14,7 @@ T1 = r(x) w(x), T2 = r(y) r(x) w(y), T3 = w(x)) is used in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, FrozenSet, Iterable, Optional
+from typing import Any, FrozenSet, Iterable
 
 BEGIN = "b"
 COMMIT = "c"

@@ -7,7 +7,7 @@ they blocked, which keeps whole-cluster runs replayable.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator
 
 from repro.errors import SimulationError
 from repro.sim.kernel import Process

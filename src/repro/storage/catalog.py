@@ -8,7 +8,7 @@ maintenance trivially correct under MVCC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from repro.errors import CatalogError, IntegrityError

@@ -1,6 +1,7 @@
 """Workloads and measurement machinery for the §6 evaluation."""
 
 from repro.workloads.clients import ClientPool, ProcClientPool
+from repro.workloads.sharded import make_partitioned_workload, make_table_map
 from repro.workloads.spec import TxnTemplate, Workload
 from repro.workloads.stats import Stats, mean_confidence_interval
 
@@ -11,4 +12,6 @@ __all__ = [
     "ProcClientPool",
     "Stats",
     "mean_confidence_interval",
+    "make_partitioned_workload",
+    "make_table_map",
 ]

@@ -11,7 +11,7 @@ exactly the knee the figures show.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.client import Driver
 from repro.core.baselines import ProcClient

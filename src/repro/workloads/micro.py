@@ -9,7 +9,6 @@ typical transaction in TPC-W)."
 
 from __future__ import annotations
 
-import random
 
 from repro.workloads.spec import TxnTemplate, Workload
 

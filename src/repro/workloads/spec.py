@@ -11,8 +11,8 @@ A :class:`TxnTemplate` carries both representations the evaluation needs:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 Statements = list[tuple[str, tuple]]
 

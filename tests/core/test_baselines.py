@@ -1,6 +1,5 @@
 """Baseline systems: centralized passthrough and the [20] protocol."""
 
-import pytest
 
 from repro.client import Driver
 from repro.core.baselines import (

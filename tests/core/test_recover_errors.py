@@ -1,0 +1,41 @@
+"""recover_replica argument validation: every error path."""
+
+import pytest
+
+from repro.core import ClusterConfig, SIRepCluster
+
+
+def make_cluster(seed=0):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=seed))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    return cluster
+
+
+def test_recovering_an_alive_replica_is_rejected():
+    cluster = make_cluster()
+    with pytest.raises(ValueError, match="still alive"):
+        cluster.recover_replica(1)
+    # the rejected call must not have touched membership
+    assert len(cluster.alive_replicas()) == 3
+
+
+def test_recover_with_no_alive_donor_is_rejected():
+    cluster = make_cluster(seed=1)
+    for index in range(3):
+        cluster.crash(index)
+    with pytest.raises(ValueError, match="no alive donor"):
+        cluster.recover_replica(0)
+    assert cluster.alive_replicas() == []
+
+
+def test_recover_with_explicitly_dead_donor_is_rejected():
+    cluster = make_cluster(seed=2)
+    cluster.crash(0)
+    cluster.crash(1)
+    with pytest.raises(ValueError, match="donor replica 1 is not alive"):
+        cluster.recover_replica(0, donor_index=1)
+    # with a live donor named explicitly the same call succeeds
+    cluster.recover_replica(0, donor_index=2)
+    cluster.sim.run(until=cluster.sim.now + 2.0)
+    assert len(cluster.alive_replicas()) == 2

@@ -1,7 +1,6 @@
 """Crash fuzzing: random crash/recovery points under load must never
 break convergence or the 1-copy-SI audit."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

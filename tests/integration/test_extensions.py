@@ -1,12 +1,8 @@
 """Extensions beyond the base protocol: load-aware discovery (§8) and
 session consistency across failovers (§3's assignment rule)."""
 
-import pytest
-
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster
-from repro.core.srca_rep import MiddlewareReplica
-from repro.testing import query
 
 
 def make_cluster(n=3, seed=1, **config_kwargs):

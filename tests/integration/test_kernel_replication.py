@@ -1,6 +1,5 @@
 """The Postgres-R(SI)-style kernel comparator ([34], §6.3)."""
 
-import pytest
 
 from repro.client import Driver
 from repro.core.kernel_replication import KernelReplicatedSystem

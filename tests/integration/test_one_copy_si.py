@@ -7,7 +7,6 @@ commits and keeps 1-copy-SI.  The same scenario, same seed, same cost
 model — only the hole synchronization differs.
 """
 
-import pytest
 
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster

@@ -1,6 +1,5 @@
 """Fine-grained paper details that deserve their own pins."""
 
-import pytest
 
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster

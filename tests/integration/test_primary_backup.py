@@ -1,6 +1,5 @@
 """Fig. 3(b): centralized-replicated middleware (primary + backup)."""
 
-import pytest
 
 from repro.client import Driver
 from repro.core.primary_backup import PrimaryBackupSystem

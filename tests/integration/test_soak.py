@@ -8,7 +8,6 @@ cluster while one replica crashes and later rejoins online.  At the end:
 * throughput never stopped for longer than the failover window.
 """
 
-import pytest
 
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster

@@ -4,7 +4,7 @@ import pytest
 
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster
-from repro.errors import CertificationAborted, TransactionAborted
+from repro.errors import TransactionAborted
 from repro.testing import query
 
 

@@ -1,0 +1,77 @@
+"""Partitioner placement: determinism, balance, explicit-map validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.shard import Partitioner
+
+table_names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=8),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tables=table_names, n_groups=st.integers(1, 6), seed=st.integers(0, 1000))
+def test_hash_placement_is_deterministic(tables, n_groups, seed):
+    first = Partitioner(n_groups, seed=seed).place_all(tables)
+    second = Partitioner(n_groups, seed=seed).place_all(tables)
+    assert first == second
+
+
+@settings(max_examples=50, deadline=None)
+@given(tables=table_names, n_groups=st.integers(1, 6), seed=st.integers(0, 1000))
+def test_hash_placement_skew_at_most_one(tables, n_groups, seed):
+    partitioner = Partitioner(n_groups, seed=seed)
+    partitioner.place_all(tables)
+    counts = partitioner.group_counts()
+    assert max(counts) - min(counts) <= 1
+    assert sum(counts) == len(tables)
+
+
+def test_place_is_idempotent():
+    partitioner = Partitioner(3, seed=5)
+    group = partitioner.place("orders")
+    for _ in range(5):
+        partitioner.place("filler" + str(_))
+    assert partitioner.place("orders") == group
+    assert partitioner.group_of("orders") == group
+
+
+def test_different_seeds_can_differ():
+    tables = [f"t{i}" for i in range(12)]
+    maps = {
+        tuple(sorted(Partitioner(4, seed=seed).place_all(tables).items()))
+        for seed in range(8)
+    }
+    assert len(maps) > 1  # the seed actually feeds the hash
+
+
+def test_explicit_policy_validates_eagerly():
+    with pytest.raises(PlacementError):
+        Partitioner(2, policy="explicit")  # no map
+    with pytest.raises(PlacementError):
+        Partitioner(2, policy="explicit", table_map={"a": 2})  # out of range
+    partitioner = Partitioner(2, policy="explicit", table_map={"a": 0, "b": 1})
+    assert partitioner.place("a") == 0
+    assert partitioner.group_of("b") == 1
+    with pytest.raises(PlacementError):
+        partitioner.place("unknown")
+
+
+def test_unplaced_table_is_an_error():
+    partitioner = Partitioner(2)
+    with pytest.raises(PlacementError):
+        partitioner.group_of("never_created")
+    assert not partitioner.knows("never_created")
+
+
+def test_bad_config_rejected():
+    with pytest.raises(PlacementError):
+        Partitioner(0)
+    with pytest.raises(PlacementError):
+        Partitioner(2, policy="range")

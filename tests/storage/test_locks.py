@@ -1,6 +1,5 @@
 """Unit tests for the lock manager and deadlock detection."""
 
-import pytest
 
 from repro.errors import DeadlockDetected
 from repro.sim import Simulator

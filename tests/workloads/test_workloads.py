@@ -7,7 +7,6 @@ import pytest
 from repro.core import ClusterConfig, SIRepCluster
 from repro.workloads import ClientPool, ProcClientPool
 from repro.workloads import largedb, micro, tpcw
-from repro.workloads.spec import Workload
 
 
 @pytest.mark.parametrize("module", [tpcw, largedb, micro])
