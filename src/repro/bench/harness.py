@@ -15,6 +15,7 @@ from typing import Callable, Optional
 
 from repro.core import ClusterConfig, SIRepCluster
 from repro.core.baselines import CentralizedSystem, TableLockSystem
+from repro.gcs import GcsConfig
 from repro.storage.engine import CostModel
 from repro.workloads import ClientPool, ProcClientPool, Workload
 from repro.workloads.stats import Stats
@@ -71,7 +72,22 @@ def _collect(name: str, load: float, stats: Stats, **extras) -> LoadPoint:
             category: data["mean_ms"] for category, data in stats.summary().items()
         },
         abort_rate=stats.abort_rate(),
-        extras=extras,
+        extras={
+            # latency tails per category: means hide queueing under load
+            "p50_ms": {
+                name: category.percentile_ms(50)
+                for name, category in stats.categories.items()
+            },
+            "p95_ms": {
+                name: category.percentile_ms(95)
+                for name, category in stats.categories.items()
+            },
+            "commits": {
+                name: category.commits
+                for name, category in stats.categories.items()
+            },
+            **extras,
+        },
     )
 
 
@@ -82,17 +98,25 @@ def run_sirep(
     hole_sync: bool = True,
     cost_model: Optional[Callable[[], CostModel]] = None,
     with_disk: bool = False,
+    gcs: Optional[GcsConfig] = None,
+    group_commit: bool = False,
     duration: float = 10.0,
     warmup: float = 2.0,
     seed: int = 0,
     label: Optional[str] = None,
 ) -> LoadPoint:
-    """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load."""
+    """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
+
+    ``gcs`` overrides the GCS timing/batching knobs (batching sweeps);
+    ``group_commit`` turns on per-replica commit-cost coalescing.
+    """
     cluster = SIRepCluster(
         ClusterConfig(
             n_replicas=n_replicas,
             hole_sync=hole_sync,
+            group_commit=group_commit,
             seed=seed,
+            gcs=gcs if gcs is not None else GcsConfig(),
             cost_model=per_replica_cost(cost_model),
             with_disk=with_disk,
         )
@@ -103,12 +127,23 @@ def run_sirep(
     )
     stats = pool.run()
     name = label or ("SRCA-Rep" if hole_sync else "SRCA-Opt")
+    group_logs = [
+        r.manager.group_log for r in cluster.replicas if r.manager.group_log
+    ]
     return _collect(
         name,
         load,
         stats,
         hole_wait_fraction=cluster.hole_wait_fraction(),
         certification_aborts=cluster.total_certification_aborts(),
+        gcs_batches=cluster.bus.delivered_batches,
+        gcs_mean_batch_size=cluster.bus.mean_batch_size,
+        group_commit_mean_size=(
+            sum(log.synced_entries for log in group_logs)
+            / max(1, sum(log.flushes for log in group_logs))
+            if group_logs
+            else 0.0
+        ),
     )
 
 
@@ -215,6 +250,8 @@ def run_sharded(
     hole_sync: bool = True,
     cost_model: Optional[Callable[..., CostModel]] = None,
     table_map: Optional[dict[str, int]] = None,
+    gcs: Optional[GcsConfig] = None,
+    group_commit: bool = False,
     duration: float = 10.0,
     warmup: float = 2.0,
     seed: int = 0,
@@ -237,6 +274,8 @@ def run_sharded(
             cost_model=per_replica_cost(cost_model),
             partition="explicit" if table_map else "hash",
             table_map=table_map,
+            gcs=gcs if gcs is not None else GcsConfig(),
+            group_commit=group_commit,
         )
     )
     workload.install(cluster)

@@ -30,6 +30,9 @@ class ClusterConfig:
     n_replicas: int = 3
     #: True = SRCA-Rep (1-copy-SI); False = SRCA-Opt (adjustments 1+2)
     hole_sync: bool = True
+    #: amortise the commit-time fsync-equivalent over runs of entries
+    #: committing together at a replica (see GroupCommitLog)
+    group_commit: bool = False
     seed: int = 0
     gcs: GcsConfig = field(default_factory=GcsConfig)
     net_base_latency: float = 0.0002
@@ -129,6 +132,7 @@ class SIRepCluster:
             member=member,
             host=host,
             hole_sync=cfg.hole_sync,
+            group_commit=cfg.group_commit,
             discovery=self.discovery,
         )
         replica.trace = self.trace
@@ -226,6 +230,7 @@ class SIRepCluster:
             member=member,
             host=host,
             hole_sync=cfg.hole_sync,
+            group_commit=cfg.group_commit,
             discovery=self.discovery,
             incarnation=incarnation,
             recover_from=donor.name,
@@ -290,7 +295,15 @@ class SIRepCluster:
                 "readonly_commits": replica.stats_readonly_commits,
                 "certification_aborts": replica.stats_aborts,
                 "tocommit_queue_len": len(manager.queue),
+                "tocommit_appended": manager.queue.appended_total,
+                "tocommit_batches": manager.queue.appended_batches,
                 "remote_apply_retries": manager.remote_apply_retries,
+                "group_commit_flushes": (
+                    manager.group_log.flushes if manager.group_log else 0
+                ),
+                "group_commit_mean_size": (
+                    manager.group_log.mean_group_size if manager.group_log else 0.0
+                ),
                 "hole_wait_fraction": manager.holes.hole_wait_fraction,
                 "db_commits": replica.node.db.commits,
                 "db_aborts": replica.node.db.aborts,
@@ -304,10 +317,13 @@ class SIRepCluster:
             "commits": self.total_commits(),
             "certification_aborts": self.total_certification_aborts(),
             "gcs_deliveries": self.bus.delivered_count,
+            "gcs_batches": self.bus.delivered_batches,
+            "gcs_mean_batch_size": self.bus.mean_batch_size,
             "replicas": per_replica,
         }
         if self.trace is not None:
             out["trace"] = self.trace.breakdown()
+            out["trace_batches"] = self.trace.batch_breakdown()
         return out
 
     def stop(self) -> None:

@@ -36,6 +36,16 @@ class HoleTracker:
         """A validated transaction that will commit at this replica."""
         heapq.heappush(self._pending, tid)
 
+    def register_many(self, tids: list[int]) -> None:
+        """Register a delivered batch's tids.
+
+        Entries of a batch are individually ordered, never fused: each
+        tid is its own pending commit, so a partially committed batch
+        exposes exactly the holes the per-message protocol would.
+        """
+        for tid in tids:
+            heapq.heappush(self._pending, tid)
+
     def mark_committed(self, tid: int) -> None:
         self._committed.add(tid)
         if tid > self._max_committed:

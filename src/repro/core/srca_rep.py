@@ -20,7 +20,7 @@ from repro.core.replica import ReplicaManager, ReplicaNode
 from repro.core.tocommit import Entry
 from repro.core.validation import Certifier, WsRecord
 from repro.errors import CertificationAborted
-from repro.gcs import DiscoveryService, GroupMember, Message, ViewChange
+from repro.gcs import Batch, DiscoveryService, GroupMember, Message, ViewChange
 from repro.net.network import ChannelClosed, Host
 from repro.sim import Gate, Simulator, wait_until
 from repro.sim.sync import OneShot
@@ -45,6 +45,7 @@ class MiddlewareReplica:
         member: GroupMember,
         host: Host,
         hole_sync: bool = True,
+        group_commit: bool = False,
         discovery: Optional[DiscoveryService] = None,
         incarnation: int = 0,
         recover_from: Optional[str] = None,
@@ -66,7 +67,8 @@ class MiddlewareReplica:
         self.ddl_log: list[str] = list(base_ddl)
         self.certifier = Certifier()
         self.manager = ReplicaManager(
-            sim, node, strict_serial=False, hole_sync=hole_sync
+            sim, node, strict_serial=False, hole_sync=hole_sync,
+            group_commit=group_commit,
         )
         #: gid -> ("committed"|"aborted") decided at global validation;
         #: consulted by in-doubt inquiries after a failover (§5.4).
@@ -139,8 +141,14 @@ class MiddlewareReplica:
                 continue
             if isinstance(item, protocol.StateTransfer):
                 continue  # late transfer from an abandoned donor
-            assert isinstance(item, Message)
-            self._handle_message(item)
+            self._handle_item(item)
+
+    def _handle_item(self, item: Message | Batch) -> None:
+        if isinstance(item, Batch):
+            self._on_batch(item)
+            return
+        assert isinstance(item, Message)
+        self._handle_message(item)
 
     def _handle_message(self, item: Message) -> None:
         kind = item.payload[0]
@@ -163,14 +171,14 @@ class MiddlewareReplica:
         """
         donor = self.recover_from
         awaiting_state = False
-        buffered: list[Message] = []
+        buffered: list[Message | Batch] = []
         while True:
             item = yield self.member.deliver()
             if isinstance(item, protocol.StateTransfer):
                 if awaiting_state and item.donor == donor:
                     self._install_state(item)
-                    for message in buffered:
-                        self._handle_message(message)
+                    for buffered_item in buffered:
+                        self._handle_item(buffered_item)
                     return
                 continue  # stale transfer from an abandoned handshake
             if isinstance(item, ViewChange):
@@ -183,6 +191,13 @@ class MiddlewareReplica:
                         awaiting_state = False
                         buffered.clear()
                         self.member.multicast(("sync", self.name, donor))
+                continue
+            if isinstance(item, Batch):
+                # batches carry only writesets (sync markers are never
+                # batched), so placement vs our sync point is all that
+                # matters: before it → covered by the donor snapshot
+                if awaiting_state:
+                    buffered.append(item)
                 continue
             assert isinstance(item, Message)
             payload = item.payload
@@ -244,7 +259,17 @@ class MiddlewareReplica:
         if self.discovery is not None:
             self.discovery.register(self.host.address, accepts_load=self._accepts_load)
 
-    def _on_writeset(self, payload: tuple) -> None:
+    def _certify_writeset(
+        self, payload: tuple
+    ) -> tuple[Optional[Entry], Optional[OneShot]]:
+        """Validate one writeset in delivery order — the shared core of the
+        per-message and batched paths, so both reach identical decisions.
+
+        Returns ``(entry, local_waiter)``: the queue entry for a pass
+        (``None`` for an abort, whose local waiter is resolved here) and
+        the local commit waiter still to be resolved *after* the entry is
+        enqueued.
+        """
         _kind, gid, writeset, cert, sender = payload
         record = WsRecord(gid, writeset, cert=cert, sender=sender)
         ok = self.certifier.validate(record)
@@ -262,12 +287,49 @@ class MiddlewareReplica:
                 _txn, waiter = local
                 waiter.resolve((protocol.ABORTED, None))
             # remote: simply discard (Fig. 4 II.2)
-            return
+            return None, None
         local_txn = local[0] if local is not None else None
         entry = Entry(record, local_txn=local_txn)
+        return entry, (local[1] if local is not None else None)
+
+    def _on_writeset(self, payload: tuple) -> None:
+        entry, waiter = self._certify_writeset(payload)
+        if entry is None:
+            return
         self.manager.enqueue(entry)
-        if local is not None:
-            local[1].resolve((protocol.COMMITTED, entry))
+        if waiter is not None:
+            waiter.resolve((protocol.COMMITTED, entry))
+
+    def _on_batch(self, batch: Batch) -> None:
+        """Validate a delivered batch as an ordered unit and enqueue the
+        surviving entries in one step.
+
+        Validation decisions are exactly those of one-at-a-time delivery
+        of the same messages in the same order; only the queue insertion,
+        the hole registrations, and the committer wakeup are amortised.
+        """
+        entries: list[Entry] = []
+        pending: list[tuple[OneShot, Entry]] = []
+        for message in batch.entries:
+            assert message.payload[0] == "ws"  # only writesets are batchable
+            entry, waiter = self._certify_writeset(message.payload)
+            if entry is None:
+                continue
+            entries.append(entry)
+            if waiter is not None:
+                pending.append((waiter, entry))
+        self.manager.enqueue_batch(entries)
+        for waiter, entry in pending:
+            waiter.resolve((protocol.COMMITTED, entry))
+        if self.trace is not None:
+            self.trace.record_batch(
+                batch.seq,
+                len(batch),
+                opened_at=batch.opened_at,
+                sequenced_at=batch.sequenced_at,
+                delivered_at=self.sim.now,
+                replica=self.name,
+            )
 
     def _on_ddl(self, payload: tuple) -> None:
         _kind, ddl_id, sender, sql = payload
@@ -424,7 +486,9 @@ class MiddlewareReplica:
         cert = self.certifier.last_validated_tid
         waiter = OneShot()
         self._local_pending[txn.gid] = (txn, waiter)
-        self.member.multicast(("ws", txn.gid, writeset, cert, self.name))
+        self.member.multicast(
+            ("ws", txn.gid, writeset, cert, self.name), batchable=True
+        )
         if self.trace is not None:
             self.trace.record(txn.gid, "multicast", self.sim.now)
         outcome, entry = yield waiter.wait()

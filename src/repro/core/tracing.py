@@ -43,12 +43,53 @@ def _quantile(ordered: list[float], q: float) -> float:
 
 @dataclass
 class TraceLog:
-    """Per-transaction milestone timestamps."""
+    """Per-transaction milestone timestamps (plus delivered batches)."""
 
     events: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: one row per delivered batch per replica (size, window, transit)
+    batches: list[dict[str, float]] = field(default_factory=list)
 
     def record(self, gid: str, event: str, at: float) -> None:
         self.events.setdefault(gid, {})[event] = at
+
+    def record_batch(
+        self,
+        seq: int,
+        size: int,
+        opened_at: float,
+        sequenced_at: float,
+        delivered_at: float,
+        replica: str = "",
+    ) -> None:
+        """One delivered batch: how long it gathered entries at the
+        sequencer (``window``) and how long sequencing-to-delivery took
+        (``transit``)."""
+        self.batches.append(
+            {
+                "seq": float(seq),
+                "size": float(size),
+                "window": sequenced_at - opened_at,
+                "transit": delivered_at - sequenced_at,
+                "replica": replica,
+            }
+        )
+
+    def batch_breakdown(self) -> dict[str, float]:
+        """Aggregate batch stats: delivery count, mean/percentile size,
+        and the window/transit latencies batching adds to the GCS path."""
+        out: dict[str, float] = {"n_batches": float(len(self.batches))}
+        if not self.batches:
+            return out
+        sizes = sorted(row["size"] for row in self.batches)
+        out["mean_size"] = sum(sizes) / len(sizes)
+        for percent, suffix in PERCENTILES:
+            out[f"size_{suffix}"] = _quantile(sizes, percent / 100.0)
+        for metric in ("window", "transit"):
+            samples = sorted(row[metric] for row in self.batches)
+            out[f"{metric}_mean"] = sum(samples) / len(samples)
+            for percent, suffix in PERCENTILES:
+                out[f"{metric}_{suffix}"] = _quantile(samples, percent / 100.0)
+        return out
 
     def complete_transactions(self) -> list[dict[str, float]]:
         return [

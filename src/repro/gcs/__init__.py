@@ -12,9 +12,17 @@ Provides exactly the guarantees SRCA-Rep depends on:
 """
 
 from repro.gcs.discovery import DiscoveryService
-from repro.gcs.multicast import GcsConfig, GroupBus, GroupMember, Message, ViewChange
+from repro.gcs.multicast import (
+    Batch,
+    GcsConfig,
+    GroupBus,
+    GroupMember,
+    Message,
+    ViewChange,
+)
 
 __all__ = [
+    "Batch",
     "GroupBus",
     "GroupMember",
     "Message",

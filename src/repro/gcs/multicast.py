@@ -36,12 +36,28 @@ class GcsConfig:
     uniform random component to each hop.  ``crash_detection`` is the
     failure-detector timeout before a view change is issued — "up to a
     couple of seconds depending on the timeout interval" (§5.2).
+
+    Batching (off by default): with ``batch_max_messages > 1`` the
+    sequencer holds batchable payloads that have reached the bus and
+    sequences them as one :class:`Batch` — flushed when the batch fills
+    or ``batch_window`` elapses after the first held payload, whichever
+    comes first.  Each entry keeps its own sequence number; only the
+    fan-out hop is shared.  ``bus_service_time`` is the sequencer's
+    per-multicast protocol cost (token work, framing): the bus is a
+    serial server, so it bounds ordered deliveries per second — a batch
+    occupies it once, which is exactly the amortisation batching buys.
     """
 
     sender_to_bus: float = 0.0008
     bus_to_member: float = 0.0007
     jitter: float = 0.0002
     crash_detection: float = 0.5
+    #: >1 enables writeset batching; a batch never exceeds this many entries
+    batch_max_messages: int = 1
+    #: max time the first held payload waits for the batch to fill
+    batch_window: float = 0.0005
+    #: serial sequencer occupancy per ordered fan-out (0 = free sequencer)
+    bus_service_time: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -52,6 +68,31 @@ class Message:
     sender: str
     payload: Any
     view_id: int
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Several totally ordered deliveries fanned out as one unit.
+
+    Entries are **individually ordered**: each carries its own ``seq``
+    from the shared sequence counter, so consumers (certification, hole
+    tracking) treat them exactly as if they had been delivered one by
+    one — the batch only amortises the sequencer/fan-out hops.
+    """
+
+    entries: tuple[Message, ...]
+    view_id: int
+    #: when the first held payload reached the sequencer
+    opened_at: float
+    #: when the batch was sequenced (flushed)
+    sequenced_at: float
+
+    @property
+    def seq(self) -> int:
+        return self.entries[0].seq
+
+    def __len__(self) -> int:
+        return len(self.entries)
 
 
 @dataclass(frozen=True)
@@ -75,9 +116,14 @@ class GroupMember:
         self.alive = True
         self._last_delivery = 0.0
 
-    def multicast(self, payload: Any) -> None:
-        """Uniform reliable total order multicast to the whole group."""
-        self.bus._multicast(self, payload)
+    def multicast(self, payload: Any, batchable: bool = False) -> None:
+        """Uniform reliable total order multicast to the whole group.
+
+        ``batchable`` marks hot-path payloads (writesets) the sequencer
+        may pack into a :class:`Batch`; control traffic (DDL, sync
+        markers) stays unbatched so its ordering logic is untouched.
+        """
+        self.bus._multicast(self, payload, batchable)
 
     def deliver(self):
         """Awaitable: next :class:`Message` or :class:`ViewChange`."""
@@ -106,7 +152,28 @@ class GroupBus:
         self._members: dict[str, GroupMember] = {}
         self._seq = itertools.count(1)
         self.view_id = 0
+        #: delivered ENTRIES (a batch of k counts k, not 1) — dashboards
+        #: built on this stay correct under batching
         self.delivered_count = 0
+        self.delivered_batches = 0
+        #: sequencer-side batching state
+        self._batch_buffer: list[tuple[GroupMember, Any]] = []
+        self._batch_epoch = 0
+        self._batch_opened_at = 0.0
+        #: serial sequencer occupancy (bus_service_time accounting)
+        self._busy_until = 0.0
+        self.sequenced_batches = 0
+        self.batched_entries = 0
+
+    @property
+    def batching(self) -> bool:
+        return self.config.batch_max_messages > 1
+
+    @property
+    def mean_batch_size(self) -> float:
+        if self.sequenced_batches == 0:
+            return 0.0
+        return self.batched_entries / self.sequenced_batches
 
     # -- membership -------------------------------------------------------------
 
@@ -123,6 +190,7 @@ class GroupBus:
         """
         if member_id in self._members and self._members[member_id].alive:
             raise GcsError(f"member {member_id!r} already joined")
+        self._flush_batch()  # the view must be ordered behind held payloads
         member = GroupMember(self, member_id)
         self._members[member_id] = member
         self.view_id += 1
@@ -132,7 +200,7 @@ class GroupBus:
             members=self.members,
             joined=(member_id,),
         )
-        self._fanout(view, extra_delay=0.0)
+        self._dispatch(view)
         return member
 
     def crash(self, member_id: str) -> None:
@@ -154,6 +222,10 @@ class GroupBus:
         )
 
     def _issue_view_change(self, crashed: tuple[str, ...]) -> None:
+        # Payloads already at the sequencer are ordered ahead of the view
+        # change, preserving §5.4's "writeset before crash notification"
+        # for everything that reached the bus before the detector fired.
+        self._flush_batch()
         self.view_id += 1
         view = ViewChange(
             seq=next(self._seq),
@@ -161,29 +233,102 @@ class GroupBus:
             members=self.members,
             crashed=crashed,
         )
-        self._fanout(view, extra_delay=0.0)
+        self._dispatch(view)
 
     # -- multicast ---------------------------------------------------------------
 
-    def _multicast(self, sender: GroupMember, payload: Any) -> None:
+    def _multicast(self, sender: GroupMember, payload: Any, batchable: bool) -> None:
         if not sender.alive:
             raise NotAMember(f"{sender.member_id!r} is not in the view")
         hop = self.config.sender_to_bus + self._rng.random() * self.config.jitter
         # The message becomes stable (sequenced) only when it reaches the
         # bus; if the sender dies first the cluster-level crash handler has
         # already marked it dead and _sequence drops the message.
-        self.sim.call_at(self.sim.now + hop, lambda: self._sequence(sender, payload))
+        self.sim.call_at(
+            self.sim.now + hop, lambda: self._sequence(sender, payload, batchable)
+        )
 
-    def _sequence(self, sender: GroupMember, payload: Any) -> None:
+    def _sequence(self, sender: GroupMember, payload: Any, batchable: bool) -> None:
         if not sender.alive:
             return  # lost with the sender: never sequenced, never delivered
+        if batchable and self.batching:
+            if not self._batch_buffer:
+                self._batch_opened_at = self.sim.now
+                epoch = self._batch_epoch
+                self.sim.call_at(
+                    self.sim.now + self.config.batch_window,
+                    lambda: self._flush_batch(epoch),
+                )
+            self._batch_buffer.append((sender, payload))
+            if len(self._batch_buffer) >= self.config.batch_max_messages:
+                self._flush_batch()
+            return
+        # Unbatchable traffic is ordered behind every payload already held
+        # at the sequencer, exactly as if those had been sequenced on
+        # arrival — arrival order at the bus IS the total order.
+        self._flush_batch()
         message = Message(
             seq=next(self._seq),
             sender=sender.member_id,
             payload=payload,
             view_id=self.view_id,
         )
-        self._fanout(message, extra_delay=0.0)
+        self._dispatch(message)
+
+    def _flush_batch(self, epoch: Optional[int] = None) -> None:
+        """Sequence the held payloads as one :class:`Batch`.
+
+        ``epoch`` guards the window timer: a size- or control-triggered
+        flush bumps the epoch, so a stale timer firing later is a no-op
+        for the buffer opened after it.
+        """
+        if epoch is not None and epoch != self._batch_epoch:
+            return
+        self._batch_epoch += 1
+        if not self._batch_buffer:
+            return
+        buffer, self._batch_buffer = self._batch_buffer, []
+        live = [(sender, payload) for sender, payload in buffer if sender.alive]
+        if not live:
+            return  # every held payload died with its sender: never sequenced
+        entries = tuple(
+            Message(
+                seq=next(self._seq),
+                sender=sender.member_id,
+                payload=payload,
+                view_id=self.view_id,
+            )
+            for sender, payload in live
+        )
+        batch = Batch(
+            entries=entries,
+            view_id=self.view_id,
+            opened_at=self._batch_opened_at,
+            sequenced_at=self.sim.now,
+        )
+        self.sequenced_batches += 1
+        self.batched_entries += len(entries)
+        self._dispatch(batch)
+
+    def _dispatch(self, item: Any) -> None:
+        """Fan out through the serial sequencer.
+
+        Every ordered item (message, batch, view change) passes through
+        the same occupancy window, so fan-outs happen in sequence order
+        even when ``bus_service_time`` defers some of them.  A batch
+        occupies the sequencer once regardless of its size.
+        """
+        service = (
+            self.config.bus_service_time if not isinstance(item, ViewChange) else 0.0
+        )
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + service
+        if self._busy_until <= self.sim.now:
+            self._fanout(item, extra_delay=0.0)
+        else:
+            self.sim.call_at(
+                self._busy_until, lambda: self._fanout(item, extra_delay=0.0)
+            )
 
     def _fanout(self, item: Any, extra_delay: float) -> None:
         for member in self._members.values():
@@ -202,5 +347,9 @@ class GroupBus:
     def _deliver(self, member: GroupMember, item: Any) -> None:
         if not member.alive:
             return
-        self.delivered_count += 1
+        if isinstance(item, Batch):
+            self.delivered_count += len(item)
+            self.delivered_batches += 1
+        else:
+            self.delivered_count += 1
         member.inbox.put(item)

@@ -40,6 +40,8 @@ class ShardConfig:
     replicas_per_group: int = 3
     #: True = SRCA-Rep within each group; False = SRCA-Opt
     hole_sync: bool = True
+    #: per-replica group commit within each group (see GroupCommitLog)
+    group_commit: bool = False
     seed: int = 0
     gcs: GcsConfig = field(default_factory=GcsConfig)
     net_base_latency: float = 0.0002
@@ -121,6 +123,7 @@ class ShardedCluster:
             group_cfg = ClusterConfig(
                 n_replicas=cfg.replicas_per_group,
                 hole_sync=cfg.hole_sync,
+                group_commit=cfg.group_commit,
                 seed=cfg.seed,
                 gcs=cfg.gcs,
                 cost_model=cfg.cost_model,

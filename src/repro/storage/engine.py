@@ -324,14 +324,27 @@ class Database:
         )
         return result
 
-    def commit(self, txn: Transaction) -> Generator[Any, Any, Optional[int]]:
+    def charge_commit(self, n_writes: int) -> Generator[Any, Any, None]:
+        """Charge the commit-time cost (the fsync-equivalent) alone.
+
+        The group-commit path pays this once for a run of transactions
+        and then installs each with ``commit(txn, charge=False)``.
+        """
+        yield from self._charge(self.cost_model.commit(n_writes))
+
+    def commit(
+        self, txn: Transaction, charge: bool = True
+    ) -> Generator[Any, Any, Optional[int]]:
         """Commit ``txn``; returns the csn (None for read-only commits).
 
         In ``deferred`` mode this performs the write/write conflict check
-        the idealised DB of §3 does at commit time.
+        the idealised DB of §3 does at commit time.  ``charge=False``
+        skips the commit-cost charge — the caller already paid it through
+        :meth:`charge_commit` (group commit).
         """
         self._check_active(txn)
-        yield from self._charge(self.cost_model.commit(len(txn.writes)))
+        if charge:
+            yield from self.charge_commit(len(txn.writes))
         # the transaction may have been aborted while the commit work was
         # queued (e.g. abort_all_active after a middleware crash)
         self._check_active(txn)

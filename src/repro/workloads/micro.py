@@ -74,3 +74,44 @@ def make_workload(seed: int = 3) -> Workload:
         tables=generate_tables(seed),
         mix=[(MICRO_UPDATE, 1.0)],
     )
+
+
+READS_PER_TXN = 2
+
+
+def _read_params(rng):
+    table = rng.randrange(N_TABLES)
+    keys = tuple(
+        rng.randint(1, ROWS_PER_TABLE) for _ in range(READS_PER_TXN)
+    )
+    return (table, keys)
+
+
+def _read_stmts(params):
+    table, keys = params
+    return [
+        (f"SELECT v FROM {table_name(table)} WHERE k = ?", (key,))
+        for key in keys
+    ]
+
+
+MICRO_READ = TxnTemplate(
+    "micro_read",
+    tuple(table_name(i) for i in range(N_TABLES)),
+    _read_params,
+    _read_stmts,
+    readonly=True,
+    lock_tables=lambda params: (table_name(params[0]),),
+)
+
+
+def make_mixed_workload(read_weight: float = 0.3, seed: int = 3) -> Workload:
+    """The micro schema with a read-only share mixed in — the shape the
+    batching benchmarks need: updates exercise the multicast/commit hot
+    path while reads measure the latency cost paid by everyone else."""
+    return Workload(
+        name=f"micro-mixed-r{read_weight:g}",
+        ddl=list(DDL),
+        tables=generate_tables(seed),
+        mix=[(MICRO_UPDATE, 1.0 - read_weight), (MICRO_READ, read_weight)],
+    )

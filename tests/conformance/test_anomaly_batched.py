@@ -1,0 +1,107 @@
+"""The §4.3.2 Ta/Tb anomaly must survive batching — and so must its fix.
+
+Batching packs Ti's and Tj's writesets into ONE delivered batch, which
+is the dangerous case: if a batch were treated as a fused commit unit,
+the hole between Tj's early commit at R1 and Ti's still-applying
+predecessor would disappear from the tracker and SRCA-Opt's anomaly
+could silently vanish (masking the bug) — or worse, SRCA-Rep could stop
+delaying reader starts.  So the conformance kit pins both directions:
+
+* adjustment 2 + batches, holes disabled → the auditor still catches
+  the inconsistent Ta/Tb reads (the anomaly is reproduced, batched);
+* adjustment 3 on, same batched scenario → 1-copy-SI holds.
+"""
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.gcs import GcsConfig
+from repro.storage.engine import CostModel
+
+
+class SlowApply(CostModel):
+    """Writeset application is slow; everything else instantaneous."""
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        return (0.0, 0.0)
+
+    def writeset_apply(self, n_ops):
+        return (0.5, 0.0)
+
+    def commit(self, n_writes):
+        return (0.0, 0.0)
+
+
+def run_batched_scenario(hole_sync):
+    # batch_window is generous: Ti's writeset (multicast ~t=0.001) waits
+    # at the sequencer until Tj's (~t=0.051) fills the 2-message batch,
+    # so BOTH updates arrive at every replica inside one Batch.
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=2,
+            hole_sync=hole_sync,
+            seed=7,
+            gcs=GcsConfig(batch_max_messages=2, batch_window=0.2),
+            cost_model=lambda i: SlowApply(),
+        )
+    )
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}, {"k": 2, "v": 0}])
+    driver = Driver(cluster.network, cluster.discovery)
+    reads = {}
+
+    def writer(address, key, value, delay):
+        yield sim.sleep(delay)
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        yield from conn.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+        yield from conn.commit()
+
+    def reader(name, address, delay):
+        yield sim.sleep(delay)
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        result = yield from conn.execute("SELECT k, v FROM kv ORDER BY k")
+        yield from conn.commit()
+        reads[name] = {r["k"]: r["v"] for r in result.rows}
+
+    sim.spawn(writer("R0", 1, 11, 0.00), name="Ti")
+    sim.spawn(writer("R1", 2, 22, 0.05), name="Tj")
+    sim.spawn(reader("Ta", "R0", 0.25), name="Ta")
+    sim.spawn(reader("Tb", "R1", 0.25), name="Tb")
+    sim.run()
+    sim.run(until=sim.now + 3.0)
+    return cluster, reads
+
+
+def test_both_writesets_travel_in_one_batch():
+    cluster, _reads = run_batched_scenario(hole_sync=True)
+    assert cluster.bus.delivered_batches > 0
+    assert cluster.bus.mean_batch_size == 2.0
+
+
+def test_batched_srca_opt_still_violates_one_copy_si():
+    """Batch entries are individually ordered: the hole (and hence the
+    anomaly) is exactly the one the per-message protocol exhibits."""
+    cluster, reads = run_batched_scenario(hole_sync=False)
+    # each reader saw only its local replica's early commit
+    assert reads["Ta"] == {1: 11, 2: 0}
+    assert reads["Tb"] == {1: 0, 2: 22}
+    report = cluster.one_copy_report()
+    assert not report.ok
+    assert report.cycle is not None
+
+
+def test_batched_srca_rep_preserves_one_copy_si():
+    cluster, reads = run_batched_scenario(hole_sync=True)
+    report = cluster.one_copy_report()
+    assert report.ok, [str(v) for v in report.violations]
+    observations = sorted(tuple(sorted(r.items())) for r in reads.values())
+    legal_joint = [
+        [((1, 0), (2, 0)), ((1, 0), (2, 0))],
+        [((1, 11), (2, 22)), ((1, 11), (2, 22))],
+        [((1, 0), (2, 0)), ((1, 11), (2, 22))],
+        [((1, 11), (2, 0)), ((1, 11), (2, 22))],
+        [((1, 0), (2, 22)), ((1, 11), (2, 22))],
+        [((1, 11), (2, 0)), ((1, 11), (2, 0))],
+        [((1, 0), (2, 22)), ((1, 0), (2, 22))],
+    ]
+    assert observations in [sorted(pair) for pair in legal_joint]

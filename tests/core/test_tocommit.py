@@ -29,6 +29,28 @@ def test_append_remove_and_len():
     assert queue.appended_total == 2
 
 
+def test_extend_counts_entries_not_batches():
+    """``appended_total`` is an ENTRY counter: a batch of k adds k (one
+    batched delivery must not look like one transaction in dashboards);
+    the batch ingestions themselves are counted separately."""
+    queue = ToCommitQueue()
+    queue.append(entry("a", 1, 1))
+    queue.extend([entry("b", 2, 2), entry("c", 3, 3), entry("d", 4, 4)])
+    queue.extend([entry("e", 5, 5)])
+    assert queue.appended_total == 5
+    assert queue.appended_batches == 2
+    assert len(queue) == 5
+    assert [e.gid for e in queue] == ["a", "b", "c", "d", "e"]
+
+
+def test_extend_empty_batch_counts_nothing():
+    queue = ToCommitQueue()
+    queue.extend([])
+    assert queue.appended_total == 0
+    assert queue.appended_batches == 0
+    assert len(queue) == 0
+
+
 def test_conflicting_predecessor_found_in_order():
     queue = ToCommitQueue()
     e1 = entry("a", 1, 1, 2)
