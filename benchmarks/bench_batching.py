@@ -11,6 +11,15 @@ Setup: 5 replicas, the BatchMicroCost model (cheap CPU, 4 ms log force,
 disk modelled), a 5 ms sequencer service time that caps the unbatched
 bus at ~200 writesets/s, and a 70/30 update/read mix offered well above
 that cap.  Sweep batch_max_messages; everything else fixed.
+
+The sweep runs with the full repro.obs surface attached (metrics
+registry, gauge sampler, trace): each measured point carries queue-depth
+and hole-age time-series in ``extras["metrics"]["obs"]["series"]`` and
+the commit-latency breakdown in ``extras["metrics"]["trace"]``; the
+time-series are also written standalone to ``results/batching_series.json``
+(the CI artifact).  Monitoring only *reads* simulator state, so the
+measured throughput is identical with and without it — asserted below
+against a metrics-off control run at batch 8.
 """
 
 import json
@@ -29,6 +38,7 @@ OFFERED_TPS = 800.0
 READ_WEIGHT = 0.3
 BUS_SERVICE_TIME = 0.005
 BATCH_WINDOW = 0.005
+SAMPLER_INTERVAL = 0.25
 
 
 def _update_tps(point) -> float:
@@ -39,32 +49,53 @@ def _update_tps(point) -> float:
     return point.throughput * commits.get("update", 0) / total
 
 
-def _sweep():
+def _slim(extras: dict) -> dict:
+    """Per-point extras for batching.json, without the sampled series
+    (that goes standalone to batching_series.json — no duplication)."""
+    extras = dict(extras)
+    metrics = dict(extras.get("metrics", {}))
+    if "obs" in metrics:
+        obs = dict(metrics["obs"])
+        obs.pop("series", None)
+        metrics["obs"] = obs
+    extras["metrics"] = metrics
+    return extras
+
+
+def _run_point(batch: int, obs: bool):
     workload = make_mixed_workload(read_weight=READ_WEIGHT)
-    points = {}
-    for batch in BATCH_SIZES:
-        points[batch] = run_sirep(
-            workload,
-            OFFERED_TPS,
-            n_replicas=N_REPLICAS,
-            cost_model=BatchMicroCost,
-            with_disk=True,
-            gcs=GcsConfig(
-                batch_max_messages=batch,
-                batch_window=BATCH_WINDOW,
-                bus_service_time=BUS_SERVICE_TIME,
-            ),
-            group_commit=True,
-            duration=6.0,
-            warmup=1.5,
-            seed=0,
-            label=f"batch={batch}",
-        )
+    return run_sirep(
+        workload,
+        OFFERED_TPS,
+        n_replicas=N_REPLICAS,
+        cost_model=BatchMicroCost,
+        with_disk=True,
+        gcs=GcsConfig(
+            batch_max_messages=batch,
+            batch_window=BATCH_WINDOW,
+            bus_service_time=BUS_SERVICE_TIME,
+        ),
+        group_commit=True,
+        duration=6.0,
+        warmup=1.5,
+        seed=0,
+        label=f"batch={batch}",
+        obs=obs,
+        sampler_interval=SAMPLER_INTERVAL,
+        trace=obs,
+    )
+
+
+def _sweep():
+    points = {batch: _run_point(batch, obs=True) for batch in BATCH_SIZES}
+    # metrics-off control: monitoring must not move the measured numbers
+    points["control"] = _run_point(8, obs=False)
     return points
 
 
 def test_batching_throughput(benchmark):
     points = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    control = points.pop("control")
 
     base_updates = _update_tps(points[1])
     ratios = {b: _update_tps(points[b]) / base_updates for b in BATCH_SIZES}
@@ -86,6 +117,7 @@ def test_batching_throughput(benchmark):
                 "n_replicas": N_REPLICAS,
                 "bus_service_time": BUS_SERVICE_TIME,
                 "batch_window": BATCH_WINDOW,
+                "sampler_interval": SAMPLER_INTERVAL,
                 "points": {
                     str(b): {
                         "update_tps": _update_tps(points[b]),
@@ -94,12 +126,25 @@ def test_batching_throughput(benchmark):
                         "update_rt_ms": points[b].rt("update"),
                         "read_rt_ms": points[b].rt("read-only"),
                         "abort_rate": points[b].abort_rate,
-                        "extras": points[b].extras,
+                        "extras": _slim(points[b].extras),
                     }
                     for b in BATCH_SIZES
                 },
             },
             indent=2,
+            allow_nan=False,  # sanitized upstream; NaN here is a bug
+        )
+    )
+    # standalone time-series export: gauge curves per batch size (the CI
+    # artifact a dashboard can plot without parsing the whole result)
+    (RESULTS / "batching_series.json").write_text(
+        json.dumps(
+            {
+                str(b): points[b].extras["metrics"]["obs"]["series"]
+                for b in BATCH_SIZES
+            },
+            indent=2,
+            allow_nan=False,
         )
     )
 
@@ -111,3 +156,17 @@ def test_batching_throughput(benchmark):
     assert read_p50_batched <= read_p50_base * 1.25
     # batching actually engaged at the larger sizes
     assert points[8].extras["gcs_mean_batch_size"] > 2.0
+
+    # the obs surface delivered its time-series: queue depth + hole age
+    # probed on every replica at the sampler cadence
+    series = points[8].extras["metrics"]["obs"]["series"]
+    assert len(series) >= 10
+    assert "R0.tocommit_depth" in series[0]
+    assert "R0.oldest_hole_age" in series[0]
+    # the migrated trace breakdown kept its keys
+    trace = points[8].extras["metrics"]["trace"]
+    assert trace["n"] > 0 and "commit_queue_p95" in trace
+    # monitoring is read-only: within 5% of the metrics-off control run
+    assert abs(_update_tps(points[8]) - _update_tps(control)) <= (
+        0.05 * _update_tps(control)
+    )

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from repro.core import ClusterConfig, SIRepCluster
 from repro.core.baselines import CentralizedSystem, TableLockSystem
 from repro.gcs import GcsConfig
+from repro.obs import sanitize
 from repro.storage.engine import CostModel
 from repro.workloads import ClientPool, ProcClientPool, Workload
 from repro.workloads.stats import Stats
@@ -104,11 +105,20 @@ def run_sirep(
     warmup: float = 2.0,
     seed: int = 0,
     label: Optional[str] = None,
+    obs: bool = False,
+    sampler_interval: float = 0.25,
+    trace: bool = False,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
 
     ``gcs`` overrides the GCS timing/batching knobs (batching sweeps);
-    ``group_commit`` turns on per-replica commit-cost coalescing.
+    ``group_commit`` turns on per-replica commit-cost coalescing;
+    ``obs`` attaches the repro.obs surface (registry + gauge sampler +
+    event log — the measured point's ``extras["metrics"]["obs"]`` then
+    carries the queue-depth/hole-age time-series) and ``trace`` the
+    commit-milestone TraceLog (``extras["metrics"]["trace"]``).
+    Monitoring only reads simulator state, so the measured numbers are
+    identical with and without it.
     """
     cluster = SIRepCluster(
         ClusterConfig(
@@ -119,6 +129,9 @@ def run_sirep(
             gcs=gcs if gcs is not None else GcsConfig(),
             cost_model=per_replica_cost(cost_model),
             with_disk=with_disk,
+            obs=obs,
+            sampler_interval=sampler_interval,
+            trace=trace,
         )
     )
     workload.install(cluster)
@@ -144,6 +157,7 @@ def run_sirep(
             if group_logs
             else 0.0
         ),
+        metrics=sanitize(cluster.metrics()),
     )
 
 
@@ -256,12 +270,15 @@ def run_sharded(
     warmup: float = 2.0,
     seed: int = 0,
     label: Optional[str] = None,
+    obs: bool = False,
+    sampler_interval: float = 0.25,
 ) -> LoadPoint:
     """Measure a sharded deployment (router entry point) at one load.
 
     With ``table_map`` the partition is explicit; otherwise tables are
     hash-placed.  The workload's transactions must respect the
-    single-group-write rule, or they surface as aborts.
+    single-group-write rule, or they surface as aborts.  ``obs``
+    attaches one shared repro.obs surface across the groups.
     """
     from repro.shard import ShardClientPool, ShardConfig, ShardedCluster
 
@@ -276,6 +293,8 @@ def run_sharded(
             table_map=table_map,
             gcs=gcs if gcs is not None else GcsConfig(),
             group_commit=group_commit,
+            obs=obs,
+            sampler_interval=sampler_interval,
         )
     )
     workload.install(cluster)
@@ -293,6 +312,7 @@ def run_sharded(
         certification_aborts=cluster.total_certification_aborts(),
         cross_shard_readonly=cluster.router.stats_cross_shard_readonly,
         rejected_cross_shard_writes=cluster.router.stats_rejected_writes,
+        metrics=sanitize(cluster.metrics()),
     )
 
 

@@ -243,6 +243,11 @@ class Connection:
         while True:
             try:
                 response = yield from self._request(request)
+                if response.error is not None:
+                    # the inquiry itself failed at the middleware: the
+                    # outcome is still unknown — surface the error rather
+                    # than inventing a resolution
+                    raise protocol.unmarshal_error(response.error)
                 return response.outcome
             except ChannelClosed:
                 crashed_again = yield from self._reconnect()

@@ -16,6 +16,7 @@ from repro.core.replica import ReplicaNode
 from repro.core.srca_rep import MiddlewareReplica
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
+from repro.obs import Observability, sanitize
 from repro.si import check_one_copy_si, recorded_schedules
 from repro.si.onecopy import OneCopyReport
 from repro.sim import Resource, Simulator
@@ -48,6 +49,14 @@ class ClusterConfig:
     cpu_servers: int = 1
     #: attach a TraceLog recording per-transaction commit milestones
     trace: bool = False
+    #: attach the repro.obs surface: metrics registry + per-replica gauge
+    #: sampler + protocol event log (monitoring never perturbs the sim)
+    obs: bool = False
+    #: sampler cadence in simulated seconds (only meaningful with obs)
+    sampler_interval: float = 0.25
+    #: §8 load balancing: per-replica session cap (None = unbounded);
+    #: a replica at its cap declines discovery until a session closes
+    max_sessions: Optional[int] = None
     #: replica names are ``f"{replica_prefix}{index}"``; a sharded
     #: deployment gives each group a distinct prefix (e.g. ``"G1-R"``) so
     #: hosts, GCS members, and gids stay unique on a shared network.
@@ -74,6 +83,7 @@ class SIRepCluster:
         network: Optional[Network] = None,
         bus: Optional[GroupBus] = None,
         discovery: Optional[DiscoveryService] = None,
+        obs: Optional[Observability] = None,
     ):
         self.config = config or ClusterConfig()
         cfg = self.config
@@ -94,9 +104,28 @@ class SIRepCluster:
         self.discovery = (
             discovery if discovery is not None else DiscoveryService(self.sim)
         )
+        #: shared in a sharded deployment (one registry/sampler/event log
+        #: across the groups), otherwise owned by this cluster when
+        #: ``config.obs`` asks for it
+        self.obs = obs if obs is not None else (
+            Observability(self.sim, sampler_interval=cfg.sampler_interval)
+            if cfg.obs
+            else None
+        )
+        #: a shared (sharded) Observability is snapshotted by its owner,
+        #: not duplicated into every group's metrics()
+        self._owns_obs = obs is None and self.obs is not None
         from repro.core.tracing import TraceLog
 
-        self.trace = TraceLog() if cfg.trace else None
+        # the trace aggregates onto the shared registry when one exists,
+        # so breakdown histograms appear next to the sampler gauges
+        self.trace = (
+            TraceLog(registry=self.obs.registry if self.obs else None)
+            if cfg.trace
+            else None
+        )
+        if self.obs is not None:
+            self._register_bus_gauges()
         self.nodes: list[ReplicaNode] = []
         self.replicas: list[MiddlewareReplica] = []
         self._client_count = 0
@@ -134,10 +163,58 @@ class SIRepCluster:
             hole_sync=cfg.hole_sync,
             group_commit=cfg.group_commit,
             discovery=self.discovery,
+            max_sessions=cfg.max_sessions,
+            obs=self.obs,
         )
         replica.trace = self.trace
         self.nodes.append(node)
         self.replicas.append(replica)
+        self._register_replica_gauges(replica)
+
+    # --------------------------------------------------------------- observability
+
+    def _bus_label(self) -> str:
+        """Gauge-name prefix for this cluster's GCS bus: ``gcs`` for a
+        standalone deployment, ``G<k>.gcs`` for a sharded group (derived
+        from the group's replica prefix, e.g. ``"G1-R"`` -> ``"G1"``)."""
+        label = self.config.replica_prefix.rstrip("R").rstrip("-")
+        return f"{label}.gcs" if label else "gcs"
+
+    def _register_bus_gauges(self) -> None:
+        registry = self.obs.registry
+        label = self._bus_label()
+        bus = self.bus
+        registry.gauge(f"{label}.buffer_occupancy", lambda: len(bus._batch_buffer))
+        registry.gauge(f"{label}.mean_batch_size", lambda: bus.mean_batch_size)
+        registry.gauge(f"{label}.delivered_entries", lambda: bus.delivered_count)
+
+    def _register_replica_gauges(self, replica: MiddlewareReplica) -> None:
+        """Point the sampler's per-replica gauges at one (possibly
+        recovered) incarnation — re-registering under the same names
+        replaces the previous incarnation's callbacks."""
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        name = replica.name
+        manager = replica.manager
+        registry.gauge(f"{name}.tocommit_depth", lambda: len(manager.queue))
+        registry.gauge(f"{name}.holes", manager.holes.hole_count)
+        registry.gauge(
+            f"{name}.oldest_hole_age",
+            lambda: manager.holes.oldest_hole_age(self.sim.now),
+        )
+        registry.gauge(
+            f"{name}.active_sessions", lambda: replica.active_sessions
+        )
+        # read through the replica attribute: recovery swaps the
+        # certifier object when the donor state is installed
+        registry.gauge(
+            f"{name}.certifier_window", lambda: replica.certifier.window_size
+        )
+        registry.gauge(
+            f"{name}.group_commit_mean_size",
+            lambda: manager.group_log.mean_group_size if manager.group_log else 0.0,
+        )
 
     # ------------------------------------------------------------ data loading
 
@@ -234,10 +311,14 @@ class SIRepCluster:
             discovery=self.discovery,
             incarnation=incarnation,
             recover_from=donor.name,
+            max_sessions=cfg.max_sessions,
+            obs=self.obs,
         )
+        replica.trace = self.trace
         self.nodes[index] = node
         self.replicas[index] = replica
         self._recovered.add(name)
+        self._register_replica_gauges(replica)
         return replica
 
     # ------------------------------------------------------------------ audits
@@ -324,7 +405,10 @@ class SIRepCluster:
         if self.trace is not None:
             out["trace"] = self.trace.breakdown()
             out["trace_batches"] = self.trace.batch_breakdown()
-        return out
+        if self.obs is not None and self._owns_obs:
+            out["obs"] = self.obs.snapshot()
+        # strict JSON: results/*.json must never contain literal NaN
+        return sanitize(out)
 
     def stop(self) -> None:
         for replica in self.replicas:

@@ -25,6 +25,8 @@ class HoleTracker:
         self._pending: list[int] = []  # min-heap of registered, uncommitted tids
         self._committed: set[int] = set()
         self._max_committed = 0
+        #: tid -> registration time, for the oldest-hole-age gauge
+        self._registered_at: dict[int, float] = {}
         #: §6.3: how often a transaction start found holes and had to wait
         self.start_attempts = 0
         self.start_waits = 0
@@ -32,11 +34,12 @@ class HoleTracker:
 
     # -- bookkeeping --------------------------------------------------------
 
-    def register(self, tid: int) -> None:
+    def register(self, tid: int, at: float = 0.0) -> None:
         """A validated transaction that will commit at this replica."""
         heapq.heappush(self._pending, tid)
+        self._registered_at[tid] = at
 
-    def register_many(self, tids: list[int]) -> None:
+    def register_many(self, tids: list[int], at: float = 0.0) -> None:
         """Register a delivered batch's tids.
 
         Entries of a batch are individually ordered, never fused: each
@@ -45,9 +48,11 @@ class HoleTracker:
         """
         for tid in tids:
             heapq.heappush(self._pending, tid)
+            self._registered_at[tid] = at
 
     def mark_committed(self, tid: int) -> None:
         self._committed.add(tid)
+        self._registered_at.pop(tid, None)
         if tid > self._max_committed:
             self._max_committed = tid
         self._drain()
@@ -71,6 +76,28 @@ class HoleTracker:
         """Would committing ``tid`` now leave a smaller tid uncommitted?"""
         lowest = self.min_pending()
         return lowest is not None and tid > lowest
+
+    # -- gauges ---------------------------------------------------------------
+
+    def hole_count(self) -> int:
+        """How many uncommitted tids currently sit *below* a committed
+        one — the instantaneous hole population the sampler graphs."""
+        self._drain()
+        return sum(1 for tid in self._pending if tid < self._max_committed)
+
+    def oldest_hole_age(self, now: float) -> float:
+        """Age of the longest-outstanding hole (0.0 when hole-free).
+
+        A hole that lingers is a stalled remote apply: this gauge is the
+        early-warning signal for the §6.3 start-blocking pathology.
+        """
+        self._drain()
+        ages = [
+            now - self._registered_at[tid]
+            for tid in self._pending
+            if tid < self._max_committed and tid in self._registered_at
+        ]
+        return max(ages) if ages else 0.0
 
     # -- statistics -----------------------------------------------------------
 

@@ -81,6 +81,10 @@ class InquireReq:
 class InquireResp:
     seq: int
     outcome: str  # committed | aborted
+    #: set when the inquiry itself failed middleware-side: the outcome
+    #: field is then meaningless and the driver must surface the error
+    #: instead of treating the in-doubt transaction as resolved
+    error: Optional[tuple[str, str]] = None
 
 
 @dataclass(frozen=True)

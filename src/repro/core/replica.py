@@ -97,7 +97,7 @@ class ReplicaManager:
         """Add a validated transaction (local or remote) to the queue."""
         self.queue.append(entry)
         if self.hole_sync:
-            self.holes.register(entry.tid)
+            self.holes.register(entry.tid, at=self.sim.now)
         self.gate.notify_all()
 
     def enqueue_batch(self, entries: list[Entry]) -> None:
@@ -111,7 +111,9 @@ class ReplicaManager:
             return
         self.queue.extend(entries)
         if self.hole_sync:
-            self.holes.register_many([entry.tid for entry in entries])
+            self.holes.register_many(
+                [entry.tid for entry in entries], at=self.sim.now
+            )
         self.gate.notify_all()
 
     # -- committer ------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.core.validation import Certifier, WsRecord
 from repro.errors import CertificationAborted
 from repro.gcs import Batch, DiscoveryService, GroupMember, Message, ViewChange
 from repro.net.network import ChannelClosed, Host
+from repro.obs import Observability
 from repro.sim import Gate, Simulator, wait_until
 from repro.sim.sync import OneShot
 
@@ -51,6 +52,7 @@ class MiddlewareReplica:
         recover_from: Optional[str] = None,
         base_ddl: tuple[str, ...] = (),
         max_sessions: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ):
         self.sim = sim
         self.name = name
@@ -87,6 +89,8 @@ class MiddlewareReplica:
         self.alive = True
         #: optional TraceLog for commit-latency breakdowns
         self.trace = None
+        #: optional Observability (registry counters + protocol event log)
+        self.obs = obs
         self.stats_commits = 0
         self.stats_aborts = 0
         self.stats_readonly_commits = 0
@@ -121,6 +125,23 @@ class MiddlewareReplica:
         self.committed_gids.add(entry.gid)
         self.commit_gate.notify_all()
 
+    # --------------------------------------------------------------- observability
+
+    def _emit(self, event: str, **fields) -> None:
+        """Log one protocol milestone (no-op without an Observability)."""
+        if self.obs is not None:
+            self.obs.events.emit(event, replica=self.name, **fields)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.obs is not None:
+            self.obs.registry.counter(name).inc(n)
+
+    def _trace_discard(self, gid: Optional[str]) -> None:
+        """Drop the trace stamps of a transaction that will never reach
+        ``committed`` (abort, rollback, lost session, read-only)."""
+        if self.trace is not None and gid is not None:
+            self.trace.discard(gid)
+
     # ------------------------------------------------------------------ GCS side
 
     def _deliver_loop(self) -> Generator[Any, Any, None]:
@@ -138,6 +159,13 @@ class MiddlewareReplica:
             if isinstance(item, ViewChange):
                 self.crashed_seen.update(item.crashed)
                 self.view_gate.notify_all()
+                self._emit(
+                    "view_change",
+                    view_id=item.view_id,
+                    members=list(item.members),
+                    crashed=list(item.crashed),
+                    joined=list(item.joined),
+                )
                 continue
             if isinstance(item, protocol.StateTransfer):
                 continue  # late transfer from an abandoned donor
@@ -184,6 +212,13 @@ class MiddlewareReplica:
             if isinstance(item, ViewChange):
                 self.crashed_seen.update(item.crashed)
                 self.view_gate.notify_all()
+                self._emit(
+                    "view_change",
+                    view_id=item.view_id,
+                    members=list(item.members),
+                    crashed=list(item.crashed),
+                    joined=list(item.joined),
+                )
                 if donor in item.crashed:
                     candidates = [m for m in item.members if m != self.name]
                     if candidates:
@@ -228,6 +263,12 @@ class MiddlewareReplica:
             pending=tuple(entry.record for entry in self.manager.queue),
             outcomes=dict(self.outcomes),
         )
+        self._emit(
+            "recovery_state_sent",
+            target=target,
+            pending=len(state.pending),
+            ddl=len(state.ddl),
+        )
         self.sim.spawn(
             self._send_state(target, state),
             name=f"{self.name}.state-transfer",
@@ -256,6 +297,12 @@ class MiddlewareReplica:
         for record in state.pending:
             self.manager.enqueue(Entry(record, local_txn=None))
         self.recovered = True
+        self._emit(
+            "recovery_state_installed",
+            donor=state.donor,
+            pending=len(state.pending),
+            incarnation=self.incarnation,
+        )
         if self.discovery is not None:
             self.discovery.register(self.host.address, accepts_load=self._accepts_load)
 
@@ -273,6 +320,14 @@ class MiddlewareReplica:
         _kind, gid, writeset, cert, sender = payload
         record = WsRecord(gid, writeset, cert=cert, sender=sender)
         ok = self.certifier.validate(record)
+        self._count("validation.pass" if ok else "validation.abort")
+        self._emit(
+            "validation",
+            gid=gid,
+            sender=sender,
+            outcome=protocol.COMMITTED if ok else protocol.ABORTED,
+            tid=record.tid,
+        )
         if len(self.outcomes) >= self.outcomes_cap:
             # evict the oldest recorded outcome (dict preserves insertion
             # order); far older than any plausible in-doubt inquiry
@@ -345,6 +400,10 @@ class MiddlewareReplica:
     def _accept_loop(self) -> Generator[Any, Any, None]:
         while True:
             channel_end = yield self.host.accept()
+            # reap finished session handles before tracking a new one:
+            # under churny clients the list would otherwise grow without
+            # bound (crash() only needs the still-alive processes)
+            self._processes = [p for p in self._processes if p.alive]
             self._processes.append(
                 self.sim.spawn(
                     self._session_loop(channel_end),
@@ -363,6 +422,7 @@ class MiddlewareReplica:
                 except ChannelClosed:
                     if session.txn is not None and session.txn.active:
                         self.db.abort(session.txn)
+                        self._trace_discard(session.gid)
                     return
                 if isinstance(request, protocol.StateTransfer):
                     # inbound recovery state from a donor, not a client;
@@ -377,6 +437,7 @@ class MiddlewareReplica:
                     response = self._error_response(request, err)
                     if session.txn is not None and session.txn.active:
                         self.db.abort(session.txn)
+                        self._trace_discard(session.gid)
                     session.txn = None
                 chan.send(response)
         finally:
@@ -388,6 +449,14 @@ class MiddlewareReplica:
             return protocol.ExecuteResp(request.seq, ok=False, error=info)
         if isinstance(request, protocol.CommitReq):
             return protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+        if isinstance(request, protocol.InquireReq):
+            # a failed inquiry must still answer with an InquireResp — a
+            # RollbackResp here would derail the driver's in-doubt
+            # failover path (it reads ``outcome``/``error`` off the
+            # response); the outcome stays unresolved, so mark the error
+            return protocol.InquireResp(
+                request.seq, protocol.ABORTED, error=info
+            )
         return protocol.RollbackResp(request.seq)
 
     def _dispatch(self, session: _Session, request) -> Generator[Any, Any, Any]:
@@ -400,6 +469,7 @@ class MiddlewareReplica:
         if isinstance(request, protocol.RollbackReq):
             if session.txn is not None and session.txn.active:
                 self.db.abort(session.txn)
+                self._trace_discard(session.gid)
             session.txn = None
             return protocol.RollbackResp(request.seq)
         if isinstance(request, protocol.InquireReq):
@@ -470,6 +540,9 @@ class MiddlewareReplica:
         if not writeset:
             yield from self.db.commit(txn)
             self.stats_readonly_commits += 1
+            # read-only: no replication milestones follow — drop the
+            # begin/commit_request stamps instead of leaking them
+            self._trace_discard(txn.gid)
             return protocol.CommitResp(request.seq, protocol.COMMITTED)
         # Fig. 4 I.2.d: local validation against the local to-commit queue
         # (adjustment 1), atomically with the certificate read and the
@@ -478,6 +551,8 @@ class MiddlewareReplica:
             self.db.abort(txn)
             self.stats_aborts += 1
             self.outcomes[txn.gid] = protocol.ABORTED
+            self._trace_discard(txn.gid)
+            self._count("validation.local_abort")
             return protocol.CommitResp(
                 request.seq,
                 protocol.ABORTED,
@@ -495,6 +570,7 @@ class MiddlewareReplica:
         if outcome == protocol.ABORTED:
             self.db.abort(txn)
             self.stats_aborts += 1
+            self._trace_discard(txn.gid)
             return protocol.CommitResp(
                 request.seq,
                 protocol.ABORTED,
@@ -517,7 +593,10 @@ class MiddlewareReplica:
             self.view_gate,
             lambda: gid in self.outcomes or crashed in self.crashed_seen,
         )
-        return self.outcomes.get(gid, protocol.ABORTED)
+        outcome = self.outcomes.get(gid, protocol.ABORTED)
+        self._emit("inquiry", gid=gid, crashed=crashed, outcome=outcome)
+        self._count("failover.inquiries")
+        return outcome
 
     # ------------------------------------------------------------------- control
 

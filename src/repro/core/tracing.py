@@ -12,11 +12,24 @@ records timestamps at the protocol milestones:
 ``breakdown()`` aggregates the phase durations — the execution /
 communication / certification-queue split the paper's §6.3 overhead
 discussion reasons about.
+
+Aggregation lives on :class:`repro.obs.MetricsRegistry` histograms: the
+moment a transaction completes, its phase durations are observed into
+``trace.phase.*`` / ``trace.total`` histograms (and delivered batches
+into ``trace.batch.*``), so ``breakdown()`` / ``batch_breakdown()`` are
+cheap reads with exactly the keys they always reported.  In-flight
+milestone stamps are retained *bounded*: aborted or abandoned
+transactions are discarded (explicitly via :meth:`discard`, or by
+oldest-first compaction past ``max_inflight``), so long benchmark runs
+no longer leak stamps for transactions that will never complete.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from typing import Optional
+
+from repro.obs import PERCENTILES, MetricsRegistry
 
 PHASES = (
     ("execution", "begin", "commit_request"),
@@ -25,32 +38,64 @@ PHASES = (
     ("commit_queue", "certified", "committed"),
 )
 
-PERCENTILES = ((50, "p50"), (95, "p95"), (99, "p99"))
 
-
-def _quantile(ordered: list[float], q: float) -> float:
-    """Linear-interpolation quantile of an already-sorted sample."""
-    if not ordered:
-        return float("nan")
-    if len(ordered) == 1:
-        return ordered[0]
-    position = (len(ordered) - 1) * q
-    low = int(position)
-    high = min(low + 1, len(ordered) - 1)
-    weight = position - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
-
-
-@dataclass
 class TraceLog:
     """Per-transaction milestone timestamps (plus delivered batches)."""
 
-    events: dict[str, dict[str, float]] = field(default_factory=dict)
-    #: one row per delivered batch per replica (size, window, transit)
-    batches: list[dict[str, float]] = field(default_factory=list)
+    def __init__(
+        self,
+        max_inflight: int = 10_000,
+        max_batches: int = 10_000,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        #: gid -> milestone stamps of transactions still in flight
+        self.events: dict[str, dict[str, float]] = {}
+        #: stamps of completed transactions, in completion order
+        self._complete: list[dict[str, float]] = []
+        #: most recent delivered batches (size, window, transit), bounded
+        self.batches: deque[dict[str, float]] = deque(maxlen=max_batches)
+        self.max_inflight = max_inflight
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: in-flight stamps dropped by compaction (abandoned transactions)
+        self.compacted = 0
 
     def record(self, gid: str, event: str, at: float) -> None:
-        self.events.setdefault(gid, {})[event] = at
+        stamps = self.events.setdefault(gid, {})
+        stamps[event] = at
+        if event == "committed" and "begin" in stamps:
+            self._finish(gid, stamps)
+        elif len(self.events) > self.max_inflight:
+            self._compact()
+
+    def discard(self, gid: str) -> None:
+        """Drop the stamps of a transaction that will never complete
+        (certification abort, lost session) — it was never going to
+        appear in :meth:`complete_transactions` anyway."""
+        self.events.pop(gid, None)
+
+    def _finish(self, gid: str, stamps: dict[str, float]) -> None:
+        del self.events[gid]
+        self._complete.append(stamps)
+        for name, start, end in PHASES:
+            if start in stamps and end in stamps:
+                self.registry.histogram(f"trace.phase.{name}").observe(
+                    stamps[end] - stamps[start]
+                )
+        self.registry.histogram("trace.total").observe(
+            stamps["committed"] - stamps["begin"]
+        )
+
+    def _compact(self) -> None:
+        """Evict the oldest in-flight stamps past the retention cap.
+
+        Insertion order is first-milestone order, so the evicted entries
+        are the longest-abandoned ones; anything still active enough to
+        complete is far younger than the cap under any sane load.
+        """
+        drop = len(self.events) - self.max_inflight
+        for gid in list(self.events)[:drop]:
+            del self.events[gid]
+            self.compacted += 1
 
     def record_batch(
         self,
@@ -64,65 +109,64 @@ class TraceLog:
         """One delivered batch: how long it gathered entries at the
         sequencer (``window``) and how long sequencing-to-delivery took
         (``transit``)."""
+        window = sequenced_at - opened_at
+        transit = delivered_at - sequenced_at
         self.batches.append(
             {
                 "seq": float(seq),
                 "size": float(size),
-                "window": sequenced_at - opened_at,
-                "transit": delivered_at - sequenced_at,
+                "window": window,
+                "transit": transit,
                 "replica": replica,
             }
         )
+        self.registry.histogram("trace.batch.size").observe(float(size))
+        self.registry.histogram("trace.batch.window").observe(window)
+        self.registry.histogram("trace.batch.transit").observe(transit)
 
     def batch_breakdown(self) -> dict[str, float]:
         """Aggregate batch stats: delivery count, mean/percentile size,
         and the window/transit latencies batching adds to the GCS path."""
-        out: dict[str, float] = {"n_batches": float(len(self.batches))}
-        if not self.batches:
+        sizes = self.registry.histogram("trace.batch.size")
+        out: dict[str, float] = {"n_batches": float(sizes.count)}
+        if not sizes.count:
             return out
-        sizes = sorted(row["size"] for row in self.batches)
-        out["mean_size"] = sum(sizes) / len(sizes)
+        out["mean_size"] = sizes.mean()
         for percent, suffix in PERCENTILES:
-            out[f"size_{suffix}"] = _quantile(sizes, percent / 100.0)
+            out[f"size_{suffix}"] = sizes.quantile(percent / 100.0)
         for metric in ("window", "transit"):
-            samples = sorted(row[metric] for row in self.batches)
-            out[f"{metric}_mean"] = sum(samples) / len(samples)
+            histogram = self.registry.histogram(f"trace.batch.{metric}")
+            out[f"{metric}_mean"] = histogram.mean()
             for percent, suffix in PERCENTILES:
-                out[f"{metric}_{suffix}"] = _quantile(samples, percent / 100.0)
+                out[f"{metric}_{suffix}"] = histogram.quantile(percent / 100.0)
         return out
 
     def complete_transactions(self) -> list[dict[str, float]]:
-        return [
-            stamps
-            for stamps in self.events.values()
-            if "begin" in stamps and "committed" in stamps
-        ]
+        return list(self._complete)
 
-    def breakdown(self) -> dict[str, float]:
+    def breakdown(self) -> dict[str, Optional[float]]:
         """Per-phase latency stats over completed transactions.
 
         For each phase (and for ``total``) the mean is reported under the
         phase name, and the tail under ``{phase}_p50`` / ``_p95`` /
         ``_p99`` — means hide the commit-queue tail that hole
         synchronization produces under load, the percentiles show it.
+        A phase with no samples reports ``None`` (never NaN: the dict is
+        dumped into ``results/*.json`` and NaN is not valid JSON).
         """
-        complete = self.complete_transactions()
-        out: dict[str, float] = {"n": float(len(complete))}
-        if not complete:
+        out: dict[str, Optional[float]] = {"n": float(len(self._complete))}
+        if not self._complete:
             return out
-        for name, start, end in PHASES:
-            samples = sorted(
-                stamps[end] - stamps[start]
-                for stamps in complete
-                if start in stamps and end in stamps
-            )
-            out[name] = sum(samples) / len(samples) if samples else float("nan")
+        for name, _start, _end in PHASES:
+            histogram = self.registry.histogram(f"trace.phase.{name}")
+            empty = histogram.count == 0
+            out[name] = None if empty else histogram.mean()
             for percent, suffix in PERCENTILES:
-                out[f"{name}_{suffix}"] = _quantile(samples, percent / 100.0)
-        totals = sorted(
-            stamps["committed"] - stamps["begin"] for stamps in complete
-        )
-        out["total"] = sum(totals) / len(totals)
+                out[f"{name}_{suffix}"] = (
+                    None if empty else histogram.quantile(percent / 100.0)
+                )
+        totals = self.registry.histogram("trace.total")
+        out["total"] = totals.mean()
         for percent, suffix in PERCENTILES:
-            out[f"total_{suffix}"] = _quantile(totals, percent / 100.0)
+            out[f"total_{suffix}"] = totals.quantile(percent / 100.0)
         return out

@@ -83,6 +83,12 @@ class Certifier:
     def decisions(self) -> int:
         return self.validated + self.rejected
 
+    @property
+    def window_size(self) -> int:
+        """Tuples tracked in the last-writer map — the certification
+        working set (grows with the distinct keys ever written)."""
+        return len(self._last_writer)
+
     def clone(self) -> "Certifier":
         """Snapshot for recovery state transfer: a recovering replica
         resumes certification from the donor's exact decision state."""

@@ -1,0 +1,75 @@
+"""Unified observability: metrics registry, gauge sampler, event log.
+
+One :class:`Observability` instance per deployment (shared across the
+groups of a sharded one) bundles the three surfaces every later
+perf/robustness change reads its numbers from:
+
+* :class:`MetricsRegistry` — counters, callback gauges, histograms with
+  the p50/p95/p99 quantile code shared with the commit-latency trace;
+* :class:`Sampler` — a sim-time daemon probing per-replica gauges
+  (to-commit depth, hole count/age, sessions, certifier window, GCS
+  buffer occupancy, group-commit group size) into a bounded time-series;
+* :class:`EventLog` — bounded JSONL log of protocol milestones
+  (validation pass/abort, view change, recovery transfer, inquiry).
+
+Enabling any of it never perturbs the simulation: instruments are read
+without yielding, drawing randomness, or notifying gates.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    PERCENTILES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile,
+    sanitize,
+)
+from repro.obs.sampler import Sampler
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "PERCENTILES",
+    "Sampler",
+    "quantile",
+    "sanitize",
+]
+
+
+class Observability:
+    """Registry + sampler + event log wired to one simulator."""
+
+    def __init__(
+        self,
+        sim,
+        sampler_interval: float = 0.25,
+        sampler_max_samples: int = 4096,
+        event_capacity: int = 10_000,
+        autostart: bool = True,
+    ):
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        self.events = EventLog(sim, capacity=event_capacity)
+        self.sampler = Sampler(
+            sim,
+            self.registry,
+            interval=sampler_interval,
+            max_samples=sampler_max_samples,
+        )
+        if autostart:
+            self.sampler.start()
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: instruments + event totals + gauge series."""
+        out = self.registry.snapshot()
+        out["events"] = dict(self.events.counts)
+        out["series"] = self.sampler.series()
+        return out

@@ -24,6 +24,7 @@ from repro.core.cluster import ClusterConfig, SIRepCluster
 from repro.errors import PlacementError, SQLError
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
+from repro.obs import Observability, sanitize
 from repro.shard.partition import Partitioner
 from repro.shard.router import ShardRouter
 from repro.si.onecopy import OneCopyReport
@@ -52,6 +53,11 @@ class ShardConfig:
     with_disk: bool = False
     cpu_servers: int = 1
     trace: bool = False
+    #: one shared repro.obs surface across every group: the groups write
+    #: into a single registry/event log, one sampler probes all gauges
+    obs: bool = False
+    sampler_interval: float = 0.25
+    max_sessions: Optional[int] = None
     #: "hash" (balanced, deterministic) or "explicit" (requires table_map)
     partition: str = "hash"
     table_map: Optional[dict[str, int]] = None
@@ -118,6 +124,11 @@ class ShardedCluster:
             table_map=cfg.table_map,
             seed=cfg.seed,
         )
+        self.obs = (
+            Observability(self.sim, sampler_interval=cfg.sampler_interval)
+            if cfg.obs
+            else None
+        )
         self.groups: list[SIRepCluster] = []
         for index in range(cfg.n_groups):
             group_cfg = ClusterConfig(
@@ -130,6 +141,7 @@ class ShardedCluster:
                 with_disk=cfg.with_disk,
                 cpu_servers=cfg.cpu_servers,
                 trace=cfg.trace,
+                max_sessions=cfg.max_sessions,
                 replica_prefix=f"G{index}-R",
             )
             self.groups.append(
@@ -141,6 +153,7 @@ class ShardedCluster:
                         self.sim, config=cfg.gcs, rng_stream=f"gcs-G{index}"
                     ),
                     discovery=DiscoveryService(self.sim),
+                    obs=self.obs,
                 )
             )
         self.router = ShardRouter(self)
@@ -294,7 +307,7 @@ class ShardedCluster:
 
     def metrics(self) -> dict:
         """Operational snapshot: per-group metrics plus router counters."""
-        return {
+        out = {
             "now": self.sim.now,
             "commits": self.total_commits(),
             "update_commits": self.total_update_commits(),
@@ -310,6 +323,11 @@ class ShardedCluster:
                 for index, group in enumerate(self.groups)
             },
         }
+        if self.obs is not None:
+            # the shared surface: gauges of every group's replicas (the
+            # per-group prefix disambiguates), one event log, one sampler
+            out["obs"] = self.obs.snapshot()
+        return sanitize(out)
 
     def stop(self) -> None:
         for group in self.groups:

@@ -25,17 +25,28 @@ KILLED = "killed"
 
 
 class Delay:
-    """Awaitable that resumes the waiting process after ``duration``."""
+    """Awaitable that resumes the waiting process after ``duration``.
 
-    __slots__ = ("duration",)
+    A *weak* delay (``sim.sleep(d, weak=True)``) fires like any other
+    while the simulation is otherwise alive, but never keeps it running
+    on its own: :meth:`Simulator.run` treats a heap holding only weak
+    timers as drained.  Monitoring daemons (the obs gauge sampler) use
+    weak ticks so that attaching them cannot turn a terminating run into
+    a non-terminating one.
+    """
 
-    def __init__(self, duration: float):
+    __slots__ = ("duration", "weak")
+
+    def __init__(self, duration: float, weak: bool = False):
         if duration < 0:
             raise SimulationError(f"negative delay: {duration}")
         self.duration = duration
+        self.weak = weak
 
     def _block(self, process: "Process") -> None:
-        process.sim._schedule(self.duration, process._resume_if_alive, None)
+        process.sim._schedule(
+            self.duration, process._resume_if_alive, None, weak=self.weak
+        )
 
     def _cancel(self, process: "Process") -> None:
         # The timer will fire but _resume_if_alive ignores dead processes.
@@ -213,8 +224,11 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[Callable[..., None]] = None):
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._heap: list[tuple[float, int, Callable, Any, bool]] = []
         self._seq = 0
+        #: heap entries that are NOT weak monitoring timers; when this
+        #: hits zero the simulation has no real work left
+        self._strong = 0
         self._seed = seed
         self._rngs: dict[str, random.Random] = {}
         self._failure: Optional[tuple[Process, BaseException]] = None
@@ -243,11 +257,17 @@ class Simulator:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _schedule(self, delay: float, callback: Callable, arg: Any) -> None:
+    def _schedule(
+        self, delay: float, callback: Callable, arg: Any, weak: bool = False
+    ) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, arg))
+        if not weak:
+            self._strong += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, self._seq, callback, arg, weak)
+        )
 
     def call_at(self, time: float, callback: Callable[[], None]) -> None:
         """Run ``callback()`` at absolute virtual time ``time``.
@@ -259,11 +279,18 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"call_at in the past: {time} < {self._now}")
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, lambda _arg: callback(), None))
+        self._strong += 1
+        heapq.heappush(
+            self._heap, (time, self._seq, lambda _arg: callback(), None, False)
+        )
 
-    def sleep(self, duration: float) -> Delay:
-        """Awaitable: resume after ``duration`` virtual seconds."""
-        return Delay(duration)
+    def sleep(self, duration: float, weak: bool = False) -> Delay:
+        """Awaitable: resume after ``duration`` virtual seconds.
+
+        ``weak=True`` marks a monitoring tick that must not keep the
+        simulation alive by itself (see :class:`Delay`).
+        """
+        return Delay(duration, weak=weak)
 
     def _record_failure(self, process: Process, exc: BaseException) -> None:
         if self._failure is None:
@@ -290,13 +317,24 @@ class Simulator:
     # -- running ---------------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> None:
-        """Execute events until the heap is empty or ``until`` is passed."""
+        """Execute events until the heap is empty or ``until`` is passed.
+
+        Without ``until``, a heap holding only weak monitoring timers
+        counts as empty — the simulated system itself has nothing left
+        to do.  With ``until``, weak timers inside the horizon still
+        fire (that is how ``run(until=now + x)`` keeps collecting gauge
+        samples while a test lets a cluster settle).
+        """
         while self._heap:
-            time, _seq, callback, arg = self._heap[0]
+            if until is None and self._strong == 0:
+                break
+            time, _seq, callback, arg, weak = self._heap[0]
             if until is not None and time > until:
                 self._now = until
                 break
             heapq.heappop(self._heap)
+            if not weak:
+                self._strong -= 1
             self._now = time
             callback(arg)
             if self._failure is not None:
@@ -314,8 +352,10 @@ class Simulator:
         process is still blocked (a real deadlock among processes).
         """
         process = self.spawn(gen, name=name, daemon=True)
-        while self._heap and process.state == ALIVE:
-            time, _seq, callback, arg = heapq.heappop(self._heap)
+        while self._heap and self._strong and process.state == ALIVE:
+            time, _seq, callback, arg, weak = heapq.heappop(self._heap)
+            if not weak:
+                self._strong -= 1
             self._now = time
             callback(arg)
             if self._failure is not None:

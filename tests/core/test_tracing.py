@@ -57,3 +57,62 @@ def test_trace_off_by_default():
     cluster = SIRepCluster(ClusterConfig(n_replicas=2, seed=1))
     assert cluster.trace is None
     assert cluster.replicas[0].trace is None
+
+# -- bounded retention (aborted/abandoned transactions must not leak) ----------
+
+
+def test_inflight_stamps_are_bounded():
+    trace = TraceLog(max_inflight=10)
+    for i in range(50):
+        trace.record(f"g{i}", "begin", float(i))  # never completes
+    assert len(trace.events) <= 10
+    assert trace.compacted == 40
+    assert trace.complete_transactions() == []
+
+
+def test_completed_transactions_survive_compaction():
+    trace = TraceLog(max_inflight=5)
+    trace.record("keeper", "begin", 0.0)
+    trace.record("keeper", "commit_request", 0.1)
+    trace.record("keeper", "multicast", 0.2)
+    trace.record("keeper", "certified", 0.3)
+    trace.record("keeper", "committed", 0.4)
+    # a flood of transactions that never commit (lost sessions, aborts
+    # nobody discarded) gets compacted oldest-first...
+    for i in range(50):
+        trace.record(f"abandoned{i}", "begin", 1.0 + i)
+    assert len(trace.events) <= 5
+    # ...without touching the completed record or its aggregates
+    complete = trace.complete_transactions()
+    assert len(complete) == 1
+    assert complete[0]["begin"] == 0.0
+    out = trace.breakdown()
+    assert out["n"] == 1.0
+    assert out["total"] == pytest.approx(0.4)
+
+
+def test_discard_drops_inflight_stamps():
+    trace = TraceLog()
+    trace.record("g1", "begin", 0.0)
+    trace.record("g1", "commit_request", 0.1)
+    trace.discard("g1")
+    trace.discard("never-seen")  # tolerant of unknown gids
+    assert trace.events == {}
+    assert trace.breakdown() == {"n": 0.0}
+
+
+def test_breakdown_with_empty_phase_is_strict_json():
+    import json
+
+    trace = TraceLog()
+    # a transaction that skipped the replication milestones entirely:
+    # three of the four phases have no samples
+    trace.record("g1", "begin", 0.0)
+    trace.record("g1", "committed", 0.5)
+    out = trace.breakdown()
+    assert out["n"] == 1.0
+    assert out["execution"] is None  # None, never NaN
+    assert out["gcs_and_certification_p95"] is None
+    assert out["total"] == pytest.approx(0.5)
+    # the whole point of None-not-NaN: results/*.json stays valid JSON
+    json.dumps(out, allow_nan=False)

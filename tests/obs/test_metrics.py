@@ -1,0 +1,130 @@
+"""Unit tests for the metric primitives (repro.obs.metrics)."""
+
+import json
+import math
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile,
+    sanitize,
+)
+
+
+def test_quantile_empty_is_nan():
+    assert math.isnan(quantile([], 0.5))
+
+
+def test_quantile_single_and_interpolation():
+    assert quantile([7.0], 0.99) == 7.0
+    ordered = [0.0, 10.0]
+    assert quantile(ordered, 0.5) == 5.0
+    assert quantile(ordered, 0.0) == 0.0
+    assert quantile(ordered, 1.0) == 10.0
+    # numpy-style linear interpolation over 5 points
+    assert quantile([1.0, 2.0, 3.0, 4.0, 5.0], 0.25) == 2.0
+
+
+def test_sanitize_replaces_non_finite_recursively():
+    blob = {
+        "ok": 1.5,
+        "bad": float("nan"),
+        "inf": float("inf"),
+        "nested": [float("-inf"), {"x": float("nan")}, (1.0, float("nan"))],
+        "text": "NaN",  # strings pass through untouched
+        "n": 3,
+    }
+    clean = sanitize(blob)
+    assert clean["ok"] == 1.5
+    assert clean["bad"] is None
+    assert clean["inf"] is None
+    assert clean["nested"][0] is None
+    assert clean["nested"][1]["x"] is None
+    assert clean["nested"][2] == [1.0, None]
+    assert clean["text"] == "NaN"
+    assert clean["n"] == 3
+    # the whole point: the result is strict-JSON serialisable
+    json.dumps(clean, allow_nan=False)
+
+
+def test_counter_increments():
+    counter = Counter("c")
+    assert counter.value == 0
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+
+
+def test_gauge_reads_callback_and_maps_errors_to_nan():
+    state = {"depth": 3}
+    gauge = Gauge("g", lambda: state["depth"])
+    assert gauge.read() == 3.0
+    state["depth"] = 8
+    assert gauge.read() == 8.0  # never stale: evaluated on demand
+
+    def dead():
+        raise RuntimeError("component crashed")
+
+    assert math.isnan(Gauge("dead", dead).read())
+
+
+def test_histogram_summary():
+    histogram = Histogram("h")
+    assert math.isnan(histogram.mean())
+    for value in (1.0, 2.0, 3.0, 4.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["n"] == 4.0
+    assert summary["mean"] == 2.5
+    assert summary["p50"] == 2.5
+    assert set(summary) == {"n", "mean", "p50", "p95", "p99"}
+
+
+def test_histogram_bounded_retention_keeps_aggregates_exact():
+    histogram = Histogram("h", max_samples=10)
+    for value in range(100):
+        histogram.observe(float(value))
+    # count/total are exact over the whole run...
+    assert histogram.count == 100
+    assert histogram.mean() == sum(range(100)) / 100
+    # ...while the retained sample window is bounded and recent
+    assert len(histogram._samples) <= 10
+    assert histogram.quantile(0.0) >= 90.0
+
+
+def test_registry_get_or_create_identity():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_registry_gauge_reregistration_replaces_callback():
+    # replica recovery re-registers the same gauge names against the new
+    # incarnation; the registry must hand the name over
+    registry = MetricsRegistry()
+    registry.gauge("R0.depth", lambda: 1.0)
+    registry.gauge("R0.depth", lambda: 42.0)
+    assert registry.read_gauges() == {"R0.depth": 42.0}
+
+
+def test_registry_snapshot_is_json_safe():
+    registry = MetricsRegistry()
+    registry.counter("commits").inc(2)
+    registry.gauge("dead", lambda: float("nan"))
+    registry.histogram("lat").observe(1.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"commits": 2}
+    assert snapshot["gauges"]["dead"] is None
+    assert snapshot["histograms"]["lat"]["n"] == 1.0
+    json.dumps(snapshot, allow_nan=False)
+
+
+def test_registry_histogram_max_samples_propagates():
+    registry = MetricsRegistry(histogram_max_samples=4)
+    histogram = registry.histogram("h")
+    for value in range(20):
+        histogram.observe(float(value))
+    assert len(histogram._samples) <= 4
+    assert histogram.count == 20

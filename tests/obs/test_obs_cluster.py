@@ -1,0 +1,199 @@
+"""The obs surface wired through real deployments.
+
+Covers the sampler gauges under a batched + group-commit cluster, the
+single shared surface of a sharded deployment, the session-cap
+accounting that feeds discovery (§5.4 "replicas that are able to handle
+additional workload respond"), and the read-only-monitoring guarantee:
+the same seed measures identically with and without the surface.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.harness import run_sirep
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import NoReplicaAvailable
+from repro.gcs import GcsConfig
+from repro.shard import ShardConfig, ShardedCluster
+from repro.workloads.micro import make_mixed_workload
+
+REPLICA_GAUGES = (
+    "tocommit_depth",
+    "holes",
+    "oldest_hole_age",
+    "active_sessions",
+    "certifier_window",
+    "group_commit_mean_size",
+)
+
+
+def test_sampler_gauges_under_batched_deployment():
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=3,
+            seed=11,
+            obs=True,
+            sampler_interval=0.1,
+            group_commit=True,
+            gcs=GcsConfig(batch_max_messages=4, batch_window=0.005),
+        )
+    )
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 5)])
+    driver = Driver(cluster.network, cluster.discovery)
+
+    def client(cid):
+        # disjoint keys: no certification conflicts to special-case
+        conn = yield from driver.connect(cluster.new_client_host())
+        for _ in range(12):
+            yield from conn.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = ?", (cid + 1,)
+            )
+            yield from conn.commit()
+            yield sim.sleep(0.02)
+        conn.close()
+
+    for cid in range(4):
+        sim.spawn(client(cid), name=f"c{cid}")
+    sim.run()
+    sim.run(until=sim.now + 0.5)
+
+    obs = cluster.obs
+    assert len(obs.sampler.rows) >= 5
+    row = obs.sampler.rows[-1]
+    for index in range(3):
+        for metric in REPLICA_GAUGES:
+            assert f"R{index}.{metric}" in row
+    assert "gcs.buffer_occupancy" in row and "gcs.mean_batch_size" in row
+    # batching + group commit actually engaged under the 4-client burst
+    assert obs.registry.read_gauges()["gcs.mean_batch_size"] > 1.0
+    # protocol milestones reached the shared event log and counters
+    assert obs.registry.counters["validation.pass"].value >= 48
+    assert obs.events.counts.get("validation", 0) >= 48
+    # everything is exported through metrics(), strict-JSON clean
+    metrics = cluster.metrics()
+    assert metrics["obs"]["series"] == obs.sampler.series()
+    json.dumps(metrics, allow_nan=False)
+
+
+def test_sharded_deployment_shares_one_surface():
+    cluster = ShardedCluster(
+        ShardConfig(
+            n_groups=2, replicas_per_group=2, seed=3, obs=True,
+            sampler_interval=0.1,
+        )
+    )
+    # one registry across the groups; names disambiguated by prefix
+    assert cluster.groups[0].obs is cluster.obs
+    assert cluster.groups[1].obs is cluster.obs
+    gauges = cluster.obs.registry.gauges
+    for group in range(2):
+        for index in range(2):
+            assert f"G{group}-R{index}.tocommit_depth" in gauges
+        assert f"G{group}.gcs.buffer_occupancy" in gauges
+    cluster.sim.run(until=1.0)
+    metrics = cluster.metrics()
+    # the shared snapshot appears exactly once, at the top level: the
+    # per-group metrics must not each embed the whole surface again
+    assert len(metrics["obs"]["series"]) >= 5
+    assert "G1-R1.holes" in metrics["obs"]["series"][0]
+    for group_metrics in metrics["groups"].values():
+        assert "obs" not in group_metrics
+    json.dumps(metrics, allow_nan=False)
+    cluster.stop()
+
+
+def test_session_cap_accounting_across_crash_and_failover():
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=2, seed=7, max_sessions=1, obs=True,
+            sampler_interval=0.1,
+        )
+    )
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    driver = Driver(cluster.network, cluster.discovery)
+    gauges = cluster.obs.registry.read_gauges
+    log = {}
+
+    def holder():
+        # pins R0's single session slot until t=2.0
+        conn = yield from driver.connect(cluster.new_client_host(), address="R0")
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        yield sim.sleep(2.0)
+        conn.close()
+
+    def prober():
+        yield sim.sleep(0.2)
+        # R0 is at its cap: it declines discovery, so only R1 answers
+        log["offered"] = (yield from cluster.discovery.discover())
+        conn = yield from driver.connect(cluster.new_client_host())
+        log["prober_address"] = conn.address
+        log["sessions_while_full"] = gauges()["R0.active_sessions"]
+        # crash the serving replica: with R0 still at its cap, failover
+        # has to ride the driver's discovery retries until the holder
+        # disconnects (t=2.0) and R0's slot frees up
+        sim.call_at(sim.now, lambda: cluster.crash(1))
+        yield sim.sleep(0.5)
+        result = yield from conn.execute("SELECT v FROM kv WHERE k = 1")
+        yield from conn.commit()
+        log["resumed_at"] = sim.now
+        log["rows"] = result.rows
+        log["final_address"] = conn.address
+        conn.close()
+
+    def impatient():
+        # a driver that gives up immediately sees the cap as an outage:
+        # R0 full, R1 crashed, nobody answers discovery
+        yield sim.sleep(1.0)
+        hasty = Driver(cluster.network, cluster.discovery, connect_retries=0)
+        with pytest.raises(NoReplicaAvailable):
+            yield from hasty.connect(cluster.new_client_host())
+        log["outage_seen"] = True
+
+    sim.spawn(holder(), name="holder")
+    sim.spawn(prober(), name="prober")
+    sim.spawn(impatient(), name="impatient")
+    sim.run()
+    sim.run(until=sim.now + 1.0)
+
+    assert log["offered"] == ["R1"]
+    assert log["prober_address"] == "R1"
+    assert log["sessions_while_full"] == 1.0
+    assert log["outage_seen"]
+    # the failed-over statement could only be served once the holder
+    # released R0's single slot
+    assert log["resumed_at"] >= 2.0
+    assert log["rows"] == [{"v": 0}]
+    assert log["final_address"] == "R0"
+    # both connections are gone: the cap accounting returned to zero
+    assert gauges()["R0.active_sessions"] == 0.0
+
+
+def test_monitoring_is_read_only():
+    """Same seed, obs on vs off: the measured run is event-identical."""
+
+    def measure(obs):
+        return run_sirep(
+            make_mixed_workload(read_weight=0.3),
+            60.0,
+            n_replicas=3,
+            duration=2.0,
+            warmup=0.5,
+            seed=4,
+            obs=obs,
+            sampler_interval=0.1,
+            trace=obs,
+        )
+
+    on, off = measure(True), measure(False)
+    assert on.throughput == off.throughput
+    assert on.mean_rt_ms == off.mean_rt_ms
+    assert on.extras["commits"] == off.extras["commits"]
+    assert "obs" in on.extras["metrics"]
+    assert "obs" not in off.extras["metrics"]
