@@ -1,0 +1,100 @@
+"""Tracing a slow transaction: spans, the online monitor, the flight box.
+
+Runs a small traced workload on a 3-replica cluster with a deliberately
+slow writeset-apply path, then exports
+
+* ``results/trace_quickstart.json``   — Chrome trace-event JSON.  Open
+  https://ui.perfetto.dev and drag the file in: one process per replica,
+  one track per transaction, and the commit path (local execution →
+  gcs → certify → commit queue → commit/apply) laid out on sim time.
+* ``results/trace_quickstart.jsonl``  — the same spans as JSON lines,
+  for jq/pandas instead of a UI.
+* ``results/flight_quickstart.json``  — a flight-recorder snapshot of
+  the run's final state; render it with
+  ``python -m repro.obs.flight results/flight_quickstart.json``.
+
+Run:  python examples/trace_quickstart.py
+"""
+
+import pathlib
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.storage.engine import CostModel
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+class SlowApply(CostModel):
+    """Make remote writeset application visibly slow in the trace."""
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        return (0.002, 0.0)
+
+    def writeset_apply(self, n_ops):
+        return (0.05, 0.0)
+
+    def commit(self, n_writes):
+        return (0.01, 0.0)
+
+
+def main() -> None:
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=3,
+            seed=42,
+            cost_model=lambda i: SlowApply(),
+            span_trace=True,
+            monitor=True,
+            flight=True,
+        )
+    )
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, 9)])
+    driver = Driver(cluster.network, cluster.discovery)
+
+    def client(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        for i in range(4):
+            yield from conn.execute(
+                "UPDATE kv SET v = v + 1 WHERE k = ?", (cid * 2 + 1 + (i % 2),)
+            )
+            yield from conn.commit()
+            yield sim.sleep(0.05)
+        result = yield from conn.execute("SELECT k, v FROM kv ORDER BY k")
+        yield from conn.commit()
+        conn.close()
+        return result.rows
+
+    for cid in range(4):
+        sim.spawn(client(cid), name=f"client{cid}")
+    sim.run()
+    sim.run(until=sim.now + 2.0)
+
+    report = cluster.one_copy_report()
+    print("1-copy-SI audit:", "OK" if report.ok else report.violations)
+    print("online monitor:", cluster.monitor.summary()["violations"] or "silent")
+
+    # find the slowest transaction straight off the span store
+    roots = [s for s in cluster.tracer.spans() if s.name == "txn"]
+    slowest = max(roots, key=lambda s: s.end - s.start)
+    print(f"slowest transaction: {slowest.trace_id} "
+          f"({1000.0 * (slowest.end - slowest.start):.1f} ms); its spans:")
+    for span in cluster.tracer.trace(slowest.trace_id):
+        print(f"  {span.start:.6f}..{span.end:.6f}  "
+              f"{span.replica:>3}  {span.name}")
+
+    RESULTS.mkdir(exist_ok=True)
+    n_events = cluster.tracer.dump_chrome(str(RESULTS / "trace_quickstart.json"))
+    (RESULTS / "trace_quickstart.jsonl").write_text(cluster.tracer.to_jsonl())
+    snap = cluster.flight.snapshot("quickstart", note="end-of-run capture")
+    cluster.flight.dump(snap, str(RESULTS / "flight_quickstart.json"))
+    cluster.stop()
+    print(f"wrote {n_events} Chrome trace events to results/trace_quickstart.json"
+          " (drag into https://ui.perfetto.dev)")
+    print("wrote results/trace_quickstart.jsonl and results/flight_quickstart.json")
+
+
+if __name__ == "__main__":
+    main()

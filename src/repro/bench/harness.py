@@ -108,6 +108,8 @@ def run_sirep(
     obs: bool = False,
     sampler_interval: float = 0.25,
     trace: bool = False,
+    span_trace: bool = False,
+    monitor: bool = False,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
 
@@ -117,8 +119,9 @@ def run_sirep(
     event log — the measured point's ``extras["metrics"]["obs"]`` then
     carries the queue-depth/hole-age time-series) and ``trace`` the
     commit-milestone TraceLog (``extras["metrics"]["trace"]``).
-    Monitoring only reads simulator state, so the measured numbers are
-    identical with and without it.
+    ``span_trace`` attaches the causal span Tracer and ``monitor`` the
+    online 1-copy-SI monitor.  Monitoring only reads simulator state, so
+    the measured numbers are identical with and without it.
     """
     cluster = SIRepCluster(
         ClusterConfig(
@@ -132,6 +135,8 @@ def run_sirep(
             obs=obs,
             sampler_interval=sampler_interval,
             trace=trace,
+            span_trace=span_trace,
+            monitor=monitor,
         )
     )
     workload.install(cluster)
@@ -272,13 +277,17 @@ def run_sharded(
     label: Optional[str] = None,
     obs: bool = False,
     sampler_interval: float = 0.25,
+    span_trace: bool = False,
+    monitor: bool = False,
 ) -> LoadPoint:
     """Measure a sharded deployment (router entry point) at one load.
 
     With ``table_map`` the partition is explicit; otherwise tables are
     hash-placed.  The workload's transactions must respect the
     single-group-write rule, or they surface as aborts.  ``obs``
-    attaches one shared repro.obs surface across the groups.
+    attaches one shared repro.obs surface across the groups;
+    ``span_trace`` one shared Tracer (router hops included) and
+    ``monitor`` per-group online 1-copy-SI monitors.
     """
     from repro.shard import ShardClientPool, ShardConfig, ShardedCluster
 
@@ -295,6 +304,8 @@ def run_sharded(
             group_commit=group_commit,
             obs=obs,
             sampler_interval=sampler_interval,
+            span_trace=span_trace,
+            monitor=monitor,
         )
     )
     workload.install(cluster)

@@ -16,7 +16,13 @@ from repro.core.replica import ReplicaNode
 from repro.core.srca_rep import MiddlewareReplica
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
-from repro.obs import Observability, sanitize
+from repro.obs import (
+    FlightRecorder,
+    Observability,
+    OneCopyMonitor,
+    Tracer,
+    sanitize,
+)
 from repro.si import check_one_copy_si, recorded_schedules
 from repro.si.onecopy import OneCopyReport
 from repro.sim import Resource, Simulator
@@ -54,6 +60,25 @@ class ClusterConfig:
     obs: bool = False
     #: sampler cadence in simulated seconds (only meaningful with obs)
     sampler_interval: float = 0.25
+    #: attach a causal span Tracer (repro.obs.trace): every transaction
+    #: yields a span tree across replicas, exportable as JSONL or Chrome
+    #: trace-event JSON.  Read-only instrumentation — a traced run is
+    #: event-for-event identical to an untraced one.
+    span_trace: bool = False
+    #: run the online 1-copy-SI monitor (repro.obs.monitor): a weak-timer
+    #: daemon streaming the Def. 3 conflict-graph check over the live
+    #: commit/begin histories, flagging violations at the sim time they
+    #: become observable
+    monitor: bool = False
+    #: monitor poll cadence in simulated seconds
+    monitor_interval: float = 0.05
+    #: attach a crash flight recorder (repro.obs.flight): a bounded ring
+    #: of recent spans/events snapshotted on crash, failed audit, or
+    #: monitor violation
+    flight: bool = False
+    #: directory flight-recorder snapshots are dumped to (None = keep
+    #: in memory only, retrievable via ``cluster.flight.snapshots``)
+    flight_dir: Optional[str] = None
     #: §8 load balancing: per-replica session cap (None = unbounded);
     #: a replica at its cap declines discovery until a session closes
     max_sessions: Optional[int] = None
@@ -84,6 +109,8 @@ class SIRepCluster:
         bus: Optional[GroupBus] = None,
         discovery: Optional[DiscoveryService] = None,
         obs: Optional[Observability] = None,
+        tracer: Optional[Tracer] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.config = config or ClusterConfig()
         cfg = self.config
@@ -126,6 +153,36 @@ class SIRepCluster:
         )
         if self.obs is not None:
             self._register_bus_gauges()
+        #: shared across groups in a sharded deployment (one trace store,
+        #: so cross-shard router hops stitch into one trace), otherwise
+        #: owned here when ``config.span_trace`` asks for it
+        self.tracer = tracer if tracer is not None else (
+            Tracer(self.sim) if cfg.span_trace else None
+        )
+        self._owns_tracer = tracer is None and self.tracer is not None
+        self.monitor = (
+            OneCopyMonitor(
+                self.sim,
+                interval=cfg.monitor_interval,
+                obs=self.obs,
+                on_violation=self._on_monitor_violation,
+            )
+            if cfg.monitor
+            else None
+        )
+        if self.monitor is not None:
+            self.monitor.start()
+        self.flight = flight if flight is not None else (
+            FlightRecorder(
+                self.sim,
+                tracer=self.tracer,
+                events=self.obs.events if self.obs is not None else None,
+                directory=cfg.flight_dir,
+            )
+            if cfg.flight
+            else None
+        )
+        self._owns_flight = flight is None and self.flight is not None
         self.nodes: list[ReplicaNode] = []
         self.replicas: list[MiddlewareReplica] = []
         self._client_count = 0
@@ -167,11 +224,24 @@ class SIRepCluster:
             obs=self.obs,
         )
         replica.trace = self.trace
+        replica.tracer = self.tracer
+        replica.manager.tracer = self.tracer
         self.nodes.append(node)
         self.replicas.append(replica)
         self._register_replica_gauges(replica)
+        if self.monitor is not None:
+            self.monitor.watch(name, db)
 
     # --------------------------------------------------------------- observability
+
+    def _on_monitor_violation(self, violation) -> None:
+        """Snapshot the flight recorder the moment the monitor trips —
+        the post-mortem then covers the window *around* the violation,
+        not whatever remains at the end of the run."""
+        if self.flight is not None:
+            self.flight.snapshot(
+                f"monitor:{violation.kind}", violation=violation.to_dict()
+            )
 
     def _bus_label(self) -> str:
         """Gauge-name prefix for this cluster's GCS bus: ``gcs`` for a
@@ -254,6 +324,22 @@ class SIRepCluster:
         replica.crash()
         self.bus.crash(replica.name)
         self.network.crash(replica.host.address)
+        if self.tracer is not None:
+            # a crashed replica's in-flight spans will never finish
+            # normally; close them so they export with status="crashed"
+            self.tracer.close_open(replica=replica.name, status="crashed")
+        if self.monitor is not None:
+            # its history is legitimately a prefix now — auditing it
+            # further would only raise false lost-writeset flags
+            self.monitor.unwatch(replica.name)
+        if self.obs is not None:
+            # drop the dead incarnation's gauges instead of letting the
+            # sampler probe them as NaN forever (recovery re-registers)
+            self.obs.registry.unregister_prefix(f"{replica.name}.")
+        if self.flight is not None:
+            self.flight.snapshot(
+                f"crash:{replica.name}", replica=replica.name, index=index
+            )
 
     def alive_replicas(self) -> list[MiddlewareReplica]:
         return [r for r in self.replicas if r.alive]
@@ -315,10 +401,15 @@ class SIRepCluster:
             obs=self.obs,
         )
         replica.trace = self.trace
+        replica.tracer = self.tracer
+        replica.manager.tracer = self.tracer
         self.nodes[index] = node
         self.replicas[index] = replica
         self._recovered.add(name)
         self._register_replica_gauges(replica)
+        # NOT re-watched by the monitor: its pre-recovery history arrived
+        # via state transfer, not begin/commit events (same reason the
+        # offline audit excludes recovered replicas)
         return replica
 
     # ------------------------------------------------------------------ audits
@@ -344,7 +435,14 @@ class SIRepCluster:
         for name, schedule in schedules.items():
             for gid in schedule.transactions:
                 locality.setdefault(gid, self._home_of(gid))
-        return check_one_copy_si(schedules, locality)
+        report = check_one_copy_si(schedules, locality)
+        if not report.ok and self.flight is not None:
+            self.flight.snapshot(
+                "audit-failed",
+                violations=[str(v) for v in report.violations],
+                cycle=[str(event) for event in (report.cycle or [])],
+            )
+        return report
 
     def _home_of(self, gid: str) -> str:
         # gid format: "<replica>[.<incarnation>]:g<n>"
@@ -405,12 +503,27 @@ class SIRepCluster:
         if self.trace is not None:
             out["trace"] = self.trace.breakdown()
             out["trace_batches"] = self.trace.batch_breakdown()
+        if self.tracer is not None and self._owns_tracer:
+            out["span_trace"] = {
+                "started": self.tracer.started,
+                "finished": self.tracer.finished_count,
+                "open": len(self.tracer.open_spans()),
+            }
+        if self.monitor is not None:
+            out["monitor"] = self.monitor.summary()
         if self.obs is not None and self._owns_obs:
             out["obs"] = self.obs.snapshot()
         # strict JSON: results/*.json must never contain literal NaN
         return sanitize(out)
 
     def stop(self) -> None:
+        if self.monitor is not None:
+            self.monitor.stop()
         for replica in self.replicas:
             if replica.alive:
                 replica.crash()
+        if self.tracer is not None and self._owns_tracer:
+            self.tracer.close_open(status="shutdown")
+        if self.obs is not None and self._owns_obs:
+            for replica in self.replicas:
+                self.obs.registry.unregister_prefix(f"{replica.name}.")

@@ -3,6 +3,11 @@
 One request/response pair per JDBC call — the paper notes SRCA pays one
 client/middleware round trip per *statement* (vs. one per transaction for
 the [20] baseline), which matters in Fig. 7.
+
+The ``gid`` these messages carry doubles as the causal **trace id**
+(``repro.obs.trace``): commit and inquiry traffic already names the
+transaction, so its spans — including a survivor's in-doubt resolution
+after a failover — land in the right trace with no extra fields here.
 """
 
 from __future__ import annotations

@@ -68,6 +68,11 @@ class ReplicaManager:
         self.last_committed_tid = 0
         #: optional hook fired after each entry commits at this replica
         self.on_commit = None
+        #: optional repro.obs Tracer (set by the cluster with the
+        #: middleware's); spans are pure bookkeeping — no yields, no RNG
+        self.tracer = None
+        #: id(entry) -> its open commit_queue span (Entry is unhashable)
+        self._entry_spans: dict[int, object] = {}
         self._process = sim.spawn(
             self._committer(), name=f"{node.name}.committer", daemon=True
         )
@@ -93,9 +98,22 @@ class ReplicaManager:
 
     # -- queue ingestion -------------------------------------------------------------
 
+    def _trace_enqueued(self, entry: Entry) -> None:
+        """Open the entry's commit_queue span (validated -> dispatched)."""
+        if self.tracer is None or entry.ctx is None:
+            return
+        self._entry_spans[id(entry)] = self.tracer.start(
+            "commit_queue",
+            entry.ctx.trace_id,
+            parent=entry.ctx.span_id,
+            replica=self.node.name,
+            gid=entry.gid,
+        )
+
     def enqueue(self, entry: Entry) -> None:
         """Add a validated transaction (local or remote) to the queue."""
         self.queue.append(entry)
+        self._trace_enqueued(entry)
         if self.hole_sync:
             self.holes.register(entry.tid, at=self.sim.now)
         self.gate.notify_all()
@@ -110,6 +128,8 @@ class ReplicaManager:
         if not entries:
             return
         self.queue.extend(entries)
+        for entry in entries:
+            self._trace_enqueued(entry)
         if self.hole_sync:
             self.holes.register_many(
                 [entry.tid for entry in entries], at=self.sim.now
@@ -153,6 +173,17 @@ class ReplicaManager:
             yield self.gate.wait()
 
     def _run_entry(self, entry: Entry) -> Generator[Any, Any, None]:
+        queue_span = self._entry_spans.pop(id(entry), None)
+        work_span = None
+        if queue_span is not None:
+            self.tracer.finish(queue_span)
+            work_span = self.tracer.start(
+                "commit" if entry.is_local else "apply",
+                entry.ctx.trace_id,
+                parent=entry.ctx.span_id,
+                replica=self.node.name,
+                gid=entry.gid,
+            )
         try:
             if entry.is_local:
                 yield from self._commit_txn(entry.local_txn)
@@ -165,6 +196,10 @@ class ReplicaManager:
         self.queue.remove(entry)
         self.committed_entries += 1
         self.last_committed_tid = entry.tid
+        if work_span is not None:
+            self.tracer.finish(work_span)
+        if entry.trace_span is not None and self.tracer is not None:
+            self.tracer.finish(entry.trace_span)
         entry.done.set(True)
         if self.on_commit is not None:
             self.on_commit(entry)

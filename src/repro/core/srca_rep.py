@@ -22,7 +22,7 @@ from repro.core.validation import Certifier, WsRecord
 from repro.errors import CertificationAborted
 from repro.gcs import Batch, DiscoveryService, GroupMember, Message, ViewChange
 from repro.net.network import ChannelClosed, Host
-from repro.obs import Observability
+from repro.obs import Observability, TraceContext
 from repro.sim import Gate, Simulator, wait_until
 from repro.sim.sync import OneShot
 
@@ -33,6 +33,9 @@ class _Session:
 
     txn: Any = None  # active engine Transaction (or None)
     gid: Optional[str] = None
+    #: causal-trace spans of the active transaction (repro.obs.trace)
+    root_span: Any = None
+    exec_span: Any = None
 
 
 class MiddlewareReplica:
@@ -89,6 +92,12 @@ class MiddlewareReplica:
         self.alive = True
         #: optional TraceLog for commit-latency breakdowns
         self.trace = None
+        #: optional causal-span Tracer (repro.obs.trace), set by the cluster
+        self.tracer = None
+        #: gid -> the open "gcs" span of an in-flight local commit, closed
+        #: by the delivery loop when the writeset is certified (the
+        #: session may be gone by then — e.g. crash-during-commit)
+        self._gcs_spans: dict[str, Any] = {}
         #: optional Observability (registry counters + protocol event log)
         self.obs = obs
         self.stats_commits = 0
@@ -142,6 +151,17 @@ class MiddlewareReplica:
         if self.trace is not None and gid is not None:
             self.trace.discard(gid)
 
+    def _spans_abort(self, session: _Session, status: str = "aborted") -> None:
+        """Close (never leak) the session's spans on any abort path."""
+        if self.tracer is None:
+            return
+        if session.exec_span is not None:
+            self.tracer.finish(session.exec_span, status=status)
+            session.exec_span = None
+        if session.root_span is not None:
+            self.tracer.finish(session.root_span, status=status)
+            session.root_span = None
+
     # ------------------------------------------------------------------ GCS side
 
     def _deliver_loop(self) -> Generator[Any, Any, None]:
@@ -181,7 +201,7 @@ class MiddlewareReplica:
     def _handle_message(self, item: Message) -> None:
         kind = item.payload[0]
         if kind == "ws":
-            self._on_writeset(item.payload)
+            self._on_writeset(item)
         elif kind == "ddl":
             self._on_ddl(item.payload)
         elif kind == "sync":
@@ -307,19 +327,28 @@ class MiddlewareReplica:
             self.discovery.register(self.host.address, accepts_load=self._accepts_load)
 
     def _certify_writeset(
-        self, payload: tuple
+        self,
+        payload: tuple,
+        sent_at: Optional[float] = None,
+        sequenced_at: Optional[float] = None,
     ) -> tuple[Optional[Entry], Optional[OneShot]]:
         """Validate one writeset in delivery order — the shared core of the
         per-message and batched paths, so both reach identical decisions.
 
+        ``sent_at``/``sequenced_at`` are the delivery's GCS timestamps
+        (trace enrichment only — they play no role in the decision).
         Returns ``(entry, local_waiter)``: the queue entry for a pass
         (``None`` for an abort, whose local waiter is resolved here) and
         the local commit waiter still to be resolved *after* the entry is
         enqueued.
         """
-        _kind, gid, writeset, cert, sender = payload
+        _kind, gid, writeset, cert, sender = payload[:5]
+        ctx: Optional[TraceContext] = payload[5] if len(payload) > 5 else None
         record = WsRecord(gid, writeset, cert=cert, sender=sender)
         ok = self.certifier.validate(record)
+        entry_ctx, deliver_span = self._trace_delivery(
+            gid, sender, ctx, ok, sent_at, sequenced_at
+        )
         self._count("validation.pass" if ok else "validation.abort")
         self._emit(
             "validation",
@@ -344,11 +373,81 @@ class MiddlewareReplica:
             # remote: simply discard (Fig. 4 II.2)
             return None, None
         local_txn = local[0] if local is not None else None
-        entry = Entry(record, local_txn=local_txn)
+        entry = Entry(record, local_txn=local_txn, ctx=entry_ctx, trace_span=deliver_span)
         return entry, (local[1] if local is not None else None)
 
-    def _on_writeset(self, payload: tuple) -> None:
-        entry, waiter = self._certify_writeset(payload)
+    def _trace_delivery(
+        self,
+        gid: str,
+        sender: str,
+        ctx: Optional[TraceContext],
+        ok: bool,
+        sent_at: Optional[float],
+        sequenced_at: Optional[float],
+    ) -> tuple[Optional[TraceContext], Any]:
+        """Span bookkeeping for one certified delivery.
+
+        Home replica: the in-flight "gcs" span (multicast -> certified)
+        closes here; the queue/commit continuation parents under the
+        transaction's ROOT span (it outlives the gcs span).  Remote
+        replica: a "deliver" span opens, *linked* (not parented — it
+        outlives the home transaction) to the home gcs span; it stays
+        open until the entry commits here.  Returns ``(entry_ctx,
+        deliver_span)`` for the to-commit entry.
+        """
+        if self.tracer is None or ctx is None:
+            return None, None
+        now = self.sim.now
+        status = "ok" if ok else "aborted"
+        if sender == self.name:
+            gcs_span = self._gcs_spans.pop(gid, None)
+            parent = ctx.root_id
+            if sent_at is not None and gcs_span is not None:
+                self.tracer.record(
+                    "gcs_sequencing", gid, start=sent_at, end=sequenced_at,
+                    parent=gcs_span.span_id, replica=self.name,
+                )
+                self.tracer.record(
+                    "gcs_fanout", gid, start=sequenced_at, end=now,
+                    parent=gcs_span.span_id, replica=self.name,
+                )
+            self.tracer.record(
+                "certify", gid, start=now, parent=parent,
+                replica=self.name, status=status, outcome=status,
+            )
+            if gcs_span is not None:
+                self.tracer.finish(gcs_span, status=status)
+            if not ok or parent is None:
+                return None, None
+            return TraceContext(gid, parent, root_id=parent), None
+        deliver = self.tracer.start(
+            "deliver", gid, link=ctx.span_id, replica=self.name,
+            start=sent_at if sent_at is not None else now, sender=sender,
+        )
+        if sent_at is not None:
+            self.tracer.record(
+                "gcs_sequencing", gid, start=sent_at, end=sequenced_at,
+                parent=deliver.span_id, replica=self.name,
+            )
+            self.tracer.record(
+                "gcs_fanout", gid, start=sequenced_at, end=now,
+                parent=deliver.span_id, replica=self.name,
+            )
+        self.tracer.record(
+            "certify", gid, start=now, parent=deliver.span_id,
+            replica=self.name, status=status, outcome=status,
+        )
+        if not ok:
+            self.tracer.finish(deliver, status="aborted")
+            return None, None
+        return TraceContext(gid, deliver.span_id, root_id=deliver.span_id), deliver
+
+    def _on_writeset(self, message: Message) -> None:
+        entry, waiter = self._certify_writeset(
+            message.payload,
+            sent_at=message.sent_at,
+            sequenced_at=message.sequenced_at,
+        )
         if entry is None:
             return
         self.manager.enqueue(entry)
@@ -367,7 +466,11 @@ class MiddlewareReplica:
         pending: list[tuple[OneShot, Entry]] = []
         for message in batch.entries:
             assert message.payload[0] == "ws"  # only writesets are batchable
-            entry, waiter = self._certify_writeset(message.payload)
+            entry, waiter = self._certify_writeset(
+                message.payload,
+                sent_at=message.sent_at,
+                sequenced_at=message.sequenced_at,
+            )
             if entry is None:
                 continue
             entries.append(entry)
@@ -423,6 +526,7 @@ class MiddlewareReplica:
                     if session.txn is not None and session.txn.active:
                         self.db.abort(session.txn)
                         self._trace_discard(session.gid)
+                        self._spans_abort(session, status="lost-session")
                     return
                 if isinstance(request, protocol.StateTransfer):
                     # inbound recovery state from a donor, not a client;
@@ -438,6 +542,7 @@ class MiddlewareReplica:
                     if session.txn is not None and session.txn.active:
                         self.db.abort(session.txn)
                         self._trace_discard(session.gid)
+                    self._spans_abort(session)
                     session.txn = None
                 chan.send(response)
         finally:
@@ -470,6 +575,7 @@ class MiddlewareReplica:
             if session.txn is not None and session.txn.active:
                 self.db.abort(session.txn)
                 self._trace_discard(session.gid)
+            self._spans_abort(session, status="rolled-back")
             session.txn = None
             return protocol.RollbackResp(request.seq)
         if isinstance(request, protocol.InquireReq):
@@ -503,9 +609,25 @@ class MiddlewareReplica:
             # JDBC has no explicit begin: the first statement starts the
             # transaction, synchronized with commits via the hole rule
             # (Fig. 4 step I.1.a).
+            submitted_at = self.sim.now
             yield from self.manager.wait_local_start()
             session.gid = f"{self.gid_prefix}:g{next(self._gids)}"
             session.txn = self.db.begin(gid=session.gid)
+            if self.tracer is not None:
+                # the root covers the whole life, including any hole wait
+                # *before* the gid existed (backdated to the submit time)
+                session.root_span = self.tracer.start(
+                    "txn", session.gid, replica=self.name, start=submitted_at
+                )
+                if self.sim.now > submitted_at:
+                    self.tracer.record(
+                        "hole_start_wait", session.gid, start=submitted_at,
+                        parent=session.root_span.span_id, replica=self.name,
+                    )
+                session.exec_span = self.tracer.start(
+                    "local_execution", session.gid,
+                    parent=session.root_span.span_id, replica=self.name,
+                )
             if self.trace is not None:
                 self.trace.record(session.gid, "begin", self.sim.now)
         result = yield from self.db.execute(session.txn, request.sql, request.params)
@@ -531,18 +653,30 @@ class MiddlewareReplica:
     ) -> Generator[Any, Any, protocol.CommitResp]:
         txn = session.txn
         session.txn = None
+        root_span, session.root_span = session.root_span, None
+        exec_span, session.exec_span = session.exec_span, None
         if txn is None or not txn.active:
             # commit with no statements: trivially committed (empty txn)
             return protocol.CommitResp(request.seq, protocol.COMMITTED)
         if self.trace is not None:
             self.trace.record(txn.gid, "commit_request", self.sim.now)
+        if exec_span is not None:
+            self.tracer.finish(exec_span)
         writeset = self.db.get_writeset(txn)
+        if root_span is not None:
+            self.tracer.record(
+                "writeset_extract", txn.gid, start=self.sim.now,
+                parent=root_span.span_id, replica=self.name,
+                items=len(writeset),
+            )
         if not writeset:
             yield from self.db.commit(txn)
             self.stats_readonly_commits += 1
             # read-only: no replication milestones follow — drop the
             # begin/commit_request stamps instead of leaking them
             self._trace_discard(txn.gid)
+            if root_span is not None:
+                self.tracer.finish(root_span, readonly=True)
             return protocol.CommitResp(request.seq, protocol.COMMITTED)
         # Fig. 4 I.2.d: local validation against the local to-commit queue
         # (adjustment 1), atomically with the certificate read and the
@@ -553,6 +687,13 @@ class MiddlewareReplica:
             self.outcomes[txn.gid] = protocol.ABORTED
             self._trace_discard(txn.gid)
             self._count("validation.local_abort")
+            if root_span is not None:
+                self.tracer.record(
+                    "local_validation", txn.gid, start=self.sim.now,
+                    parent=root_span.span_id, replica=self.name,
+                    status="aborted", outcome="aborted",
+                )
+                self.tracer.finish(root_span, status="aborted")
             return protocol.CommitResp(
                 request.seq,
                 protocol.ABORTED,
@@ -561,8 +702,21 @@ class MiddlewareReplica:
         cert = self.certifier.last_validated_tid
         waiter = OneShot()
         self._local_pending[txn.gid] = (txn, waiter)
+        ctx: Optional[TraceContext] = None
+        if root_span is not None:
+            self.tracer.record(
+                "local_validation", txn.gid, start=self.sim.now,
+                parent=root_span.span_id, replica=self.name,
+            )
+            gcs_span = self.tracer.start(
+                "gcs", txn.gid, parent=root_span.span_id, replica=self.name
+            )
+            self._gcs_spans[txn.gid] = gcs_span
+            ctx = TraceContext(
+                txn.gid, gcs_span.span_id, root_id=root_span.span_id
+            )
         self.member.multicast(
-            ("ws", txn.gid, writeset, cert, self.name), batchable=True
+            ("ws", txn.gid, writeset, cert, self.name, ctx), batchable=True
         )
         if self.trace is not None:
             self.trace.record(txn.gid, "multicast", self.sim.now)
@@ -571,6 +725,8 @@ class MiddlewareReplica:
             self.db.abort(txn)
             self.stats_aborts += 1
             self._trace_discard(txn.gid)
+            if root_span is not None:
+                self.tracer.finish(root_span, status="aborted")
             return protocol.CommitResp(
                 request.seq,
                 protocol.ABORTED,
@@ -581,6 +737,8 @@ class MiddlewareReplica:
         yield entry.done.wait()
         if self.trace is not None:
             self.trace.record(txn.gid, "committed", self.sim.now)
+        if root_span is not None:
+            self.tracer.finish(root_span)
         self.stats_commits += 1
         return protocol.CommitResp(request.seq, protocol.COMMITTED, replicated=True)
 
@@ -589,11 +747,20 @@ class MiddlewareReplica:
     def _inquire(self, gid: str, crashed: str) -> Generator[Any, Any, str]:
         """§5.4 in-doubt resolution: answer only once we either saw the
         writeset or the view change reporting the old replica's crash."""
+        span = None
+        if self.tracer is not None:
+            # the gid doubles as the trace id, so the inquiry lands in the
+            # same trace as the in-doubt transaction it resolves
+            span = self.tracer.start(
+                "inquiry", gid, replica=self.name, crashed=crashed
+            )
         yield from wait_until(
             self.view_gate,
             lambda: gid in self.outcomes or crashed in self.crashed_seen,
         )
         outcome = self.outcomes.get(gid, protocol.ABORTED)
+        if span is not None:
+            self.tracer.finish(span, outcome=outcome)
         self._emit("inquiry", gid=gid, crashed=crashed, outcome=outcome)
         self._count("failover.inquiries")
         return outcome

@@ -25,6 +25,11 @@ class Entry:
     local_txn: object = None  # engine Transaction when local, else None
     started: bool = False
     done: Event = field(default_factory=Event)
+    #: trace coordinates for the manager's queue/commit/apply spans
+    #: (None when tracing is off or the entry came via state transfer)
+    ctx: object = None
+    #: the replica-side delivery span to close when this entry commits
+    trace_span: object = None
 
     @property
     def gid(self) -> str:

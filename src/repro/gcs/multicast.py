@@ -62,12 +62,20 @@ class GcsConfig:
 
 @dataclass(frozen=True)
 class Message:
-    """A totally ordered multicast delivery."""
+    """A totally ordered multicast delivery.
+
+    ``sent_at``/``sequenced_at`` stamp the sender-side multicast call and
+    the sequencing instant (sim time): consumers that trace the GCS path
+    (repro.obs.trace) split delivery latency into sequencing wait vs
+    fan-out without extra bookkeeping.
+    """
 
     seq: int
     sender: str
     payload: Any
     view_id: int
+    sent_at: float = 0.0
+    sequenced_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -156,8 +164,8 @@ class GroupBus:
         #: built on this stay correct under batching
         self.delivered_count = 0
         self.delivered_batches = 0
-        #: sequencer-side batching state
-        self._batch_buffer: list[tuple[GroupMember, Any]] = []
+        #: sequencer-side batching state: (sender, payload, sent_at)
+        self._batch_buffer: list[tuple[GroupMember, Any, float]] = []
         self._batch_epoch = 0
         self._batch_opened_at = 0.0
         #: serial sequencer occupancy (bus_service_time accounting)
@@ -241,14 +249,18 @@ class GroupBus:
         if not sender.alive:
             raise NotAMember(f"{sender.member_id!r} is not in the view")
         hop = self.config.sender_to_bus + self._rng.random() * self.config.jitter
+        sent_at = self.sim.now
         # The message becomes stable (sequenced) only when it reaches the
         # bus; if the sender dies first the cluster-level crash handler has
         # already marked it dead and _sequence drops the message.
         self.sim.call_at(
-            self.sim.now + hop, lambda: self._sequence(sender, payload, batchable)
+            self.sim.now + hop,
+            lambda: self._sequence(sender, payload, batchable, sent_at),
         )
 
-    def _sequence(self, sender: GroupMember, payload: Any, batchable: bool) -> None:
+    def _sequence(
+        self, sender: GroupMember, payload: Any, batchable: bool, sent_at: float
+    ) -> None:
         if not sender.alive:
             return  # lost with the sender: never sequenced, never delivered
         if batchable and self.batching:
@@ -259,7 +271,7 @@ class GroupBus:
                     self.sim.now + self.config.batch_window,
                     lambda: self._flush_batch(epoch),
                 )
-            self._batch_buffer.append((sender, payload))
+            self._batch_buffer.append((sender, payload, sent_at))
             if len(self._batch_buffer) >= self.config.batch_max_messages:
                 self._flush_batch()
             return
@@ -272,6 +284,8 @@ class GroupBus:
             sender=sender.member_id,
             payload=payload,
             view_id=self.view_id,
+            sent_at=sent_at,
+            sequenced_at=self.sim.now,
         )
         self._dispatch(message)
 
@@ -288,7 +302,11 @@ class GroupBus:
         if not self._batch_buffer:
             return
         buffer, self._batch_buffer = self._batch_buffer, []
-        live = [(sender, payload) for sender, payload in buffer if sender.alive]
+        live = [
+            (sender, payload, sent_at)
+            for sender, payload, sent_at in buffer
+            if sender.alive
+        ]
         if not live:
             return  # every held payload died with its sender: never sequenced
         entries = tuple(
@@ -297,8 +315,10 @@ class GroupBus:
                 sender=sender.member_id,
                 payload=payload,
                 view_id=self.view_id,
+                sent_at=sent_at,
+                sequenced_at=self.sim.now,
             )
-            for sender, payload in live
+            for sender, payload, sent_at in live
         )
         batch = Batch(
             entries=entries,

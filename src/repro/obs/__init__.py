@@ -19,6 +19,7 @@ without yielding, drawing randomness, or notifying gates.
 from __future__ import annotations
 
 from repro.obs.events import EventLog
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import (
     PERCENTILES,
     Counter,
@@ -28,17 +29,25 @@ from repro.obs.metrics import (
     quantile,
     sanitize,
 )
+from repro.obs.monitor import MonitorViolation, OneCopyMonitor
 from repro.obs.sampler import Sampler
+from repro.obs.trace import Span, TraceContext, Tracer
 
 __all__ = [
     "Counter",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MonitorViolation",
     "Observability",
+    "OneCopyMonitor",
     "PERCENTILES",
     "Sampler",
+    "Span",
+    "TraceContext",
+    "Tracer",
     "quantile",
     "sanitize",
 ]

@@ -181,6 +181,27 @@ class MetricsRegistry:
             self.histograms[name] = histogram
         return histogram
 
+    def unregister(self, name: str) -> bool:
+        """Drop one gauge (crashed component teardown).
+
+        A gauge whose component died would otherwise be probed as NaN by
+        the sampler forever.  Counters and histograms are *not*
+        unregistered: they hold accumulated run data, not live callbacks.
+        Returns whether the gauge existed.
+        """
+        return self.gauges.pop(name, None) is not None
+
+    def unregister_prefix(self, prefix: str) -> int:
+        """Drop every gauge under a component prefix (e.g. ``"R1."``).
+
+        Callers pass dot-terminated prefixes so ``"R1."`` cannot match
+        ``"R10.holes"``.  Returns how many gauges were removed.
+        """
+        doomed = [name for name in self.gauges if name.startswith(prefix)]
+        for name in doomed:
+            del self.gauges[name]
+        return len(doomed)
+
     def read_gauges(self) -> dict[str, float]:
         """One probe across every registered gauge (the sampler's tick)."""
         return {name: gauge.read() for name, gauge in self.gauges.items()}

@@ -24,7 +24,7 @@ from repro.core.cluster import ClusterConfig, SIRepCluster
 from repro.errors import PlacementError, SQLError
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
-from repro.obs import Observability, sanitize
+from repro.obs import FlightRecorder, Observability, Tracer, sanitize
 from repro.shard.partition import Partitioner
 from repro.shard.router import ShardRouter
 from repro.si.onecopy import OneCopyReport
@@ -57,6 +57,17 @@ class ShardConfig:
     #: into a single registry/event log, one sampler probes all gauges
     obs: bool = False
     sampler_interval: float = 0.25
+    #: one shared causal-span Tracer across the groups AND the router,
+    #: so a cross-shard transaction's router hops and per-group branches
+    #: stitch into a single trace
+    span_trace: bool = False
+    #: per-group online 1-copy-SI monitors (certification order is
+    #: per-group, so each group gets its own streaming Def. 3 check)
+    monitor: bool = False
+    monitor_interval: float = 0.05
+    #: one shared crash flight recorder across the groups
+    flight: bool = False
+    flight_dir: Optional[str] = None
     max_sessions: Optional[int] = None
     #: "hash" (balanced, deterministic) or "explicit" (requires table_map)
     partition: str = "hash"
@@ -129,6 +140,17 @@ class ShardedCluster:
             if cfg.obs
             else None
         )
+        self.tracer = Tracer(self.sim) if cfg.span_trace else None
+        self.flight = (
+            FlightRecorder(
+                self.sim,
+                tracer=self.tracer,
+                events=self.obs.events if self.obs is not None else None,
+                directory=cfg.flight_dir,
+            )
+            if cfg.flight
+            else None
+        )
         self.groups: list[SIRepCluster] = []
         for index in range(cfg.n_groups):
             group_cfg = ClusterConfig(
@@ -141,6 +163,8 @@ class ShardedCluster:
                 with_disk=cfg.with_disk,
                 cpu_servers=cfg.cpu_servers,
                 trace=cfg.trace,
+                monitor=cfg.monitor,
+                monitor_interval=cfg.monitor_interval,
                 max_sessions=cfg.max_sessions,
                 replica_prefix=f"G{index}-R",
             )
@@ -154,6 +178,8 @@ class ShardedCluster:
                     ),
                     discovery=DiscoveryService(self.sim),
                     obs=self.obs,
+                    tracer=self.tracer,
+                    flight=self.flight,
                 )
             )
         self.router = ShardRouter(self)
@@ -323,6 +349,12 @@ class ShardedCluster:
                 for index, group in enumerate(self.groups)
             },
         }
+        if self.tracer is not None:
+            out["span_trace"] = {
+                "started": self.tracer.started,
+                "finished": self.tracer.finished_count,
+                "open": len(self.tracer.open_spans()),
+            }
         if self.obs is not None:
             # the shared surface: gauges of every group's replicas (the
             # per-group prefix disambiguates), one event log, one sampler
@@ -332,3 +364,5 @@ class ShardedCluster:
     def stop(self) -> None:
         for group in self.groups:
             group.stop()
+        if self.tracer is not None:
+            self.tracer.close_open(status="shutdown")

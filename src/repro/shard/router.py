@@ -121,6 +121,54 @@ class RouterConnection:
         self._write_group: Optional[int] = None
         #: group -> snapshot csn observed at the branch's first statement
         self._vector: dict[int, int] = {}
+        #: open "route" span of the current routed transaction (causal
+        #: tracing; None when the cluster has no tracer)
+        self._route_span: Optional[Any] = None
+        self._route_seq = 0
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _tracer(self):
+        return getattr(self.router.cluster, "tracer", None)
+
+    def _route_begin(self) -> None:
+        """Open the routed transaction's root span on its first statement."""
+        tracer = self._tracer()
+        if tracer is None or self._route_span is not None:
+            return
+        self._route_seq += 1
+        self._route_span = tracer.start(
+            "route",
+            f"route:{self.id}:{self._route_seq}",
+            replica="router",
+            connection=self.id,
+        )
+
+    def _route_statement(self, group: int, branch, kind: str, start: float) -> None:
+        """One statement hop: which group served it, under which branch
+        gid — the gid is the branch transaction's trace id middleware-
+        side, so tooling can stitch the cross-shard trace together."""
+        tracer = self._tracer()
+        if tracer is None or self._route_span is None:
+            return
+        tracer.record(
+            "route_statement",
+            self._route_span.trace_id,
+            start=start,
+            parent=self._route_span.span_id,
+            replica="router",
+            group=group,
+            kind=kind,
+            branch_gid=getattr(branch, "_gid", None),
+            branch_replica=branch.address,
+        )
+
+    def _route_finish(self, status: str = "ok", **attrs) -> None:
+        tracer = self._tracer()
+        span, self._route_span = self._route_span, None
+        if tracer is None or span is None:
+            return
+        tracer.finish(span, status=status, **attrs)
 
     # -- plumbing --------------------------------------------------------------
 
@@ -146,6 +194,7 @@ class RouterConnection:
                 except DatabaseError:
                     pass
         self._reset()
+        self._route_finish(status="aborted")
 
     # -- public surface --------------------------------------------------------
 
@@ -155,6 +204,7 @@ class RouterConnection:
         Starts a branch transaction on that group if none is active.
         """
         self._check_open()
+        self._route_begin()
         kind, groups = self.router.groups_for(sql)
         if len(groups) != 1:
             yield from self._abandon()
@@ -185,6 +235,7 @@ class RouterConnection:
                 f"to group {self._write_group}; updates are single-group"
             )
         branch = yield from self._branch(group)
+        started_at = self.router.cluster.sim.now
         try:
             result = yield from branch.execute(sql, params)
         except DatabaseError:
@@ -193,6 +244,7 @@ class RouterConnection:
             self._touched.discard(group)
             yield from self._abandon()
             raise
+        self._route_statement(group, branch, kind, started_at)
         self._touched.add(group)
         if group not in self._vector and branch.snapshot_csn is not None:
             self._vector[group] = branch.snapshot_csn
@@ -207,6 +259,7 @@ class RouterConnection:
         branch = yield from self._branch(group)
         result = yield from branch.execute(sql, params)
         yield from branch.commit()
+        self._route_finish(ddl=True, group=group)
         return result
 
     def commit(self) -> Generator[Any, Any, None]:
@@ -234,7 +287,13 @@ class RouterConnection:
                     failure = err
         self._reset()
         if failure is not None:
+            self._route_finish(status="aborted")
             raise failure
+        self._route_finish(
+            cross_shard=cross_shard,
+            groups=touched,
+            vector={str(g): csn for g, csn in vector.items()},
+        )
         if touched:
             if cross_shard:
                 self.router.stats_cross_shard_readonly += 1
@@ -248,6 +307,7 @@ class RouterConnection:
 
     def close(self) -> None:
         self.closed = True
+        self._route_finish(status="closed")
         for branch in self._branches.values():
             branch.close()
 

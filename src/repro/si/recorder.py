@@ -20,7 +20,9 @@ def schedule_from_history(history: list[tuple]) -> tuple[Schedule, dict[str, boo
     commit_at: dict[str, int] = {}
     for index, entry in enumerate(history):
         if entry[0] == "commit":
-            _kind, gid, _csn, readset, writeset = entry
+            # entries carry a trailing sim timestamp (ignored here; the
+            # online monitor consumes it)
+            _kind, gid, _csn, readset, writeset = entry[:5]
             committed[gid] = TxnSpec(
                 gid, frozenset(readset), frozenset(writeset)
             )

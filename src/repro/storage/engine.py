@@ -295,7 +295,11 @@ class Database:
             remote=remote,
         )
         self._active.add(txn)
-        self.history.append(("begin", txn.gid, txn.snapshot_csn, remote))
+        # the trailing sim timestamp is appended LAST so positional
+        # consumers of the older 4-tuple shape keep working
+        self.history.append(
+            ("begin", txn.gid, txn.snapshot_csn, remote, self.sim.now)
+        )
         return txn
 
     def _check_active(self, txn: Transaction) -> None:
@@ -374,7 +378,14 @@ class Database:
         self._active.discard(txn)
         self._committed_gids.add(txn.gid)
         self.history.append(
-            ("commit", txn.gid, csn, frozenset(txn.readset), frozenset(txn.writes))
+            (
+                "commit",
+                txn.gid,
+                csn,
+                frozenset(txn.readset),
+                frozenset(txn.writes),
+                self.sim.now,
+            )
         )
         self.commits += 1
         self.locks.release_all(txn)

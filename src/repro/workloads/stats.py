@@ -14,6 +14,8 @@ from typing import Optional
 import numpy as np
 from scipy import stats as scipy_stats
 
+from repro.obs.metrics import quantile
+
 
 def mean_confidence_interval(samples, confidence: float = 0.95):
     """(mean, half_width) of the t-based confidence interval."""
@@ -44,9 +46,10 @@ class CategoryStats:
         return 1000.0 * sum(self.latencies) / len(self.latencies)
 
     def percentile_ms(self, q: float) -> float:
-        if not self.latencies:
-            return float("nan")
-        return 1000.0 * float(np.percentile(self.latencies, q))
+        """Latency percentile in ms, via the shared repro.obs quantile
+        helper (same linear interpolation the metrics histograms use, so
+        workload reports and dashboards agree on tail definitions)."""
+        return 1000.0 * quantile(sorted(self.latencies), q / 100.0)
 
     def ci95_ms(self) -> tuple[float, float]:
         mean, half = mean_confidence_interval(self.latencies)

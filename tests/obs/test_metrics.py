@@ -121,6 +121,39 @@ def test_registry_snapshot_is_json_safe():
     json.dumps(snapshot, allow_nan=False)
 
 
+def test_registry_unregister_gauge():
+    registry = MetricsRegistry()
+    registry.gauge("R0.depth", lambda: 1.0)
+    assert registry.unregister("R0.depth") is True
+    assert registry.unregister("R0.depth") is False  # already gone
+    assert registry.read_gauges() == {}
+
+
+def test_registry_unregister_prefix_is_dot_exact():
+    # crash teardown drops "R1."'s gauges; "R10." is a different replica
+    registry = MetricsRegistry()
+    registry.gauge("R1.tocommit_depth", lambda: 1.0)
+    registry.gauge("R1.holes", lambda: 2.0)
+    registry.gauge("R10.holes", lambda: 3.0)
+    assert registry.unregister_prefix("R1.") == 2
+    assert registry.read_gauges() == {"R10.holes": 3.0}
+    assert registry.unregister_prefix("R1.") == 0
+
+
+def test_unregister_keeps_counters_and_histograms():
+    # counters/histograms hold accumulated run data, not live callbacks:
+    # a crashed replica's totals must survive its gauge teardown
+    registry = MetricsRegistry()
+    registry.counter("R1.commits").inc(7)
+    registry.histogram("R1.lat").observe(1.0)
+    registry.gauge("R1.depth", lambda: 0.0)
+    registry.unregister_prefix("R1.")
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"R1.commits": 7}
+    assert snapshot["histograms"]["R1.lat"]["n"] == 1.0
+    assert snapshot["gauges"] == {}
+
+
 def test_registry_histogram_max_samples_propagates():
     registry = MetricsRegistry(histogram_max_samples=4)
     histogram = registry.histogram("h")

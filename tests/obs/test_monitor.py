@@ -1,0 +1,282 @@
+"""Online 1-copy-SI monitor (repro.obs.monitor).
+
+Unit tests drive :meth:`OneCopyMonitor.poll` by hand over fake
+``db.history`` lists (the monitor only reads ``sim.now`` outside the
+daemon), one per violation kind; the integration test replays the
+batched §4.3.2 Ta/Tb scenario from the conformance kit and checks the
+monitor flags the constraint cycle *online*, at the poll where it closes
+and with the offending event's sim timestamp — not at end of run.
+"""
+
+import pytest
+
+from repro.client import Driver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.gcs import GcsConfig
+from repro.obs import OneCopyMonitor
+from repro.storage.engine import CostModel
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeDb:
+    def __init__(self):
+        self.history = []
+
+
+def begin(gid, remote, t, csn=0):
+    return ("begin", gid, csn, remote, t)
+
+
+def commit(gid, t, readset=(), writeset=(), csn=1):
+    return ("commit", gid, csn, frozenset(readset), frozenset(writeset), t)
+
+
+@pytest.fixture
+def env():
+    sim = FakeSim()
+    monitor = OneCopyMonitor(sim, loss_grace=5.0)
+    dbs = {name: FakeDb() for name in ("R0", "R1")}
+    for name, db in dbs.items():
+        monitor.watch(name, db)
+    return sim, monitor, dbs
+
+
+def test_silent_on_consistent_histories(env):
+    sim, monitor, dbs = env
+    for db in dbs.values():
+        db.history += [
+            begin("g1", remote=False, t=0.0),
+            commit("g1", 0.1, writeset={("kv", 1)}),
+            begin("g2", remote=False, t=0.2),
+            commit("g2", 0.3, readset={("kv", 1)}, writeset={("kv", 1)}),
+        ]
+    sim.now = 0.5
+    assert monitor.poll() == []
+    assert monitor.ok and not monitor.tripped
+    summary = monitor.summary()
+    assert summary["polls"] == 1
+    assert summary["watched"] == ["R0", "R1"]
+    assert summary["transactions"] == 2
+
+
+def test_ww_order_disagreement_flagged_once(env):
+    sim, monitor, dbs = env
+    ws = {("kv", 1)}
+    dbs["R0"].history += [
+        commit("g1", 0.1, writeset=ws),
+        commit("g2", 0.2, writeset=ws),
+    ]
+    dbs["R1"].history += [
+        commit("g2", 0.1, writeset=ws),
+        commit("g1", 0.2, writeset=ws),
+    ]
+    sim.now = 0.3
+    new = monitor.poll()
+    assert [v.kind for v in new] == ["ww-order"]
+    assert set(new[0].gids) == {"g1", "g2"}
+    assert new[0].at == 0.3
+    assert not monitor.ok
+    # the disagreement persists in the histories: never re-emitted
+    sim.now = 0.4
+    assert monitor.poll() == []
+    assert len(monitor.violations) == 1
+
+
+def test_rowa_divergent_writesets_flagged(env):
+    sim, monitor, dbs = env
+    dbs["R0"].history.append(commit("g1", 0.1, writeset={("kv", 1)}))
+    dbs["R1"].history.append(commit("g1", 0.2, writeset={("kv", 2)}))
+    sim.now = 0.3
+    new = monitor.poll()
+    assert [v.kind for v in new] == ["rowa"]
+    assert new[0].gids == ("g1",)
+    assert monitor.poll() == []
+
+
+def test_lost_writeset_after_grace_window(env):
+    sim, monitor, dbs = env
+    dbs["R0"].history.append(commit("g1", 0.1, writeset={("kv", 1)}))
+    sim.now = 1.0  # within grace: missing at R1 is just propagation lag
+    assert monitor.poll() == []
+    sim.now = 6.0  # 0.1 + loss_grace exceeded
+    new = monitor.poll()
+    assert [v.kind for v in new] == ["lost-writeset"]
+    assert new[0].offending_t == 0.1
+    assert "missing at R1" in new[0].detail
+    sim.now = 7.0
+    assert monitor.poll() == []  # deduped per (gid, replica)
+
+
+def test_constraint_cycle_trips_one_copy_si(env):
+    """The §4.3.2 shape, hand-fed: each replica commits its own writer
+    first, and each local reader begins in the window where only the
+    local write is visible — the four reads-from edges close a cycle."""
+    sim, monitor, dbs = env
+    dbs["R0"].history += [
+        commit("g1", 0.10, writeset={("kv", 1)}),
+        begin("Ta", remote=False, t=0.25),
+        commit("Ta", 0.26, readset={("kv", 1), ("kv", 2)}),
+        commit("g2", 0.60, writeset={("kv", 2)}),
+    ]
+    dbs["R1"].history += [
+        commit("g2", 0.10, writeset={("kv", 2)}),
+        begin("Tb", remote=False, t=0.25),
+        commit("Tb", 0.26, readset={("kv", 1), ("kv", 2)}),
+        commit("g1", 0.60, writeset={("kv", 1)}),
+    ]
+    sim.now = 0.7
+    new = monitor.poll()
+    assert [v.kind for v in new] == ["one-copy-si"]
+    assert monitor.tripped
+    violation = new[0]
+    assert set(violation.gids) >= {"g1", "g2"}
+    # anchored on the latest event in the cycle, not on poll time
+    assert violation.offending_t <= 0.6 < violation.at
+    # the latch holds: the same cycle is not re-reported
+    sim.now = 0.8
+    assert monitor.poll() == []
+    assert monitor.summary()["tripped"] is True
+
+
+def test_unwatch_rebuilds_without_reemitting(env):
+    sim, monitor, dbs = env
+    ws = {("kv", 1)}
+    dbs["R0"].history += [commit("g1", 0.1, writeset=ws), commit("g2", 0.2, writeset=ws)]
+    dbs["R1"].history += [commit("g2", 0.1, writeset=ws), commit("g1", 0.2, writeset=ws)]
+    sim.now = 0.3
+    assert [v.kind for v in monitor.poll()] == ["ww-order"]
+    monitor.unwatch("R1")  # e.g. the replica crashed
+    assert monitor.summary()["watched"] == ["R0"]
+    sim.now = 0.4
+    assert monitor.poll() == []  # rebuild kept the dedup state
+    assert len(monitor.violations) == 1
+    # and the surviving replica's events were replayed, not dropped
+    assert monitor.summary()["transactions"] == 2
+
+
+def test_retried_remote_apply_uses_last_begin(env):
+    """A remote writeset apply can begin, deadlock-abort, and begin
+    again; only the begin that leads to the commit counts."""
+    sim, monitor, dbs = env
+    dbs["R0"].history += [
+        begin("g1", remote=True, t=0.1),
+        begin("g1", remote=True, t=0.3),  # retry
+        commit("g1", 0.4, writeset={("kv", 1)}),
+    ]
+    dbs["R1"].history += [
+        begin("g1", remote=True, t=0.1),
+        commit("g1", 0.2, writeset={("kv", 1)}),
+    ]
+    sim.now = 0.5
+    assert monitor.poll() == []
+    assert monitor.ok
+
+
+def test_saturation_stops_checking(env):
+    sim, monitor, dbs = env
+    monitor.max_txns = 2
+    for i in range(4):
+        dbs["R0"].history.append(commit(f"g{i}", 0.1 * i, writeset={("kv", i)}))
+    sim.now = 1.0
+    monitor.poll()
+    assert monitor.saturated
+    assert monitor.poll() == []  # no further work once saturated
+    assert monitor.summary()["saturated"] is True
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        OneCopyMonitor(FakeSim(), interval=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Integration: the batched §4.3.2 anomaly, caught online
+# ---------------------------------------------------------------------------
+
+
+class SlowApply(CostModel):
+    """Writeset application is slow; everything else instantaneous."""
+
+    def statement(self, kind, rows_examined, rows_returned, rows_written):
+        return (0.0, 0.0)
+
+    def writeset_apply(self, n_ops):
+        return (0.5, 0.0)
+
+    def commit(self, n_writes):
+        return (0.0, 0.0)
+
+
+def run_batched_scenario(hole_sync):
+    """The conformance kit's §4.3.2 recipe with the monitor attached:
+    both writesets travel in one batch, SRCA-Opt commits each writer's
+    own update early, and the t=0.25 readers observe the anomaly."""
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=2,
+            hole_sync=hole_sync,
+            seed=7,
+            gcs=GcsConfig(batch_max_messages=2, batch_window=0.2),
+            cost_model=lambda i: SlowApply(),
+            monitor=True,
+            monitor_interval=0.05,
+            flight=True,
+        )
+    )
+    sim = cluster.sim
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}, {"k": 2, "v": 0}])
+    driver = Driver(cluster.network, cluster.discovery)
+
+    def writer(address, key, value, delay):
+        yield sim.sleep(delay)
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        yield from conn.execute("UPDATE kv SET v = ? WHERE k = ?", (value, key))
+        yield from conn.commit()
+
+    def reader(address, delay):
+        yield sim.sleep(delay)
+        conn = yield from driver.connect(cluster.new_client_host(), address=address)
+        yield from conn.execute("SELECT k, v FROM kv ORDER BY k")
+        yield from conn.commit()
+
+    sim.spawn(writer("R0", 1, 11, 0.00), name="Ti")
+    sim.spawn(writer("R1", 2, 22, 0.05), name="Tj")
+    sim.spawn(reader("R0", 0.25), name="Ta")
+    sim.spawn(reader("R1", 0.25), name="Tb")
+    sim.run()
+    sim.run(until=sim.now + 3.0)
+    return cluster
+
+
+def test_monitor_flags_batched_anomaly_online():
+    cluster = run_batched_scenario(hole_sync=False)
+    assert cluster.monitor.tripped
+    flagged = [v for v in cluster.monitor.violations if v.kind == "one-copy-si"]
+    assert len(flagged) == 1
+    violation = flagged[0]
+    # the readers begin at t=0.25; the cycle's latest event is one of
+    # their begins/the early commits — well before the ~1.1s end of run
+    assert 0.25 <= violation.offending_t <= violation.at
+    assert violation.at < cluster.sim.now  # flagged DURING the run
+    assert len(violation.gids) >= 4  # Ti, Tj, Ta, Tb
+    # the post-hoc auditor agrees
+    assert not cluster.one_copy_report().ok
+    # the flight recorder snapped the violation as it happened
+    reasons = [snap["reason"] for snap in cluster.flight.snapshots]
+    assert "monitor:one-copy-si" in reasons
+    cluster.stop()
+
+
+def test_monitor_silent_when_hole_sync_on():
+    cluster = run_batched_scenario(hole_sync=True)
+    assert cluster.monitor.ok
+    assert not cluster.monitor.tripped
+    assert cluster.monitor.summary()["violations"] == []
+    assert cluster.monitor.polls > 0  # the daemon actually ran
+    assert cluster.one_copy_report().ok
+    cluster.stop()

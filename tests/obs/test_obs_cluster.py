@@ -175,8 +175,42 @@ def test_session_cap_accounting_across_crash_and_failover():
     assert gauges()["R0.active_sessions"] == 0.0
 
 
+def test_crash_unregisters_gauges_recovery_restores_them():
+    """A crashed replica's gauges leave the registry (the sampler would
+    otherwise probe the corpse as NaN forever); recovery re-registers
+    them against the new incarnation.  Counters survive the crash: they
+    are run totals, not live callbacks."""
+    cluster = SIRepCluster(
+        ClusterConfig(n_replicas=3, seed=9, obs=True, sampler_interval=0.1)
+    )
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    cluster.sim.run(until=0.5)
+    registry = cluster.obs.registry
+    for metric in REPLICA_GAUGES:
+        assert f"R1.{metric}" in registry.gauges
+    registry.counter("R1.sentinel").inc(3)
+
+    cluster.crash(1)
+    assert not any(name.startswith("R1.") for name in registry.gauges)
+    for index in (0, 2):  # survivors keep theirs
+        assert f"R{index}.tocommit_depth" in registry.gauges
+    assert registry.counters["R1.sentinel"].value == 3
+    # the sampler keeps running without NaN columns for the corpse
+    cluster.sim.run(until=cluster.sim.now + 0.5)
+    assert not any(k.startswith("R1.") for k in cluster.obs.sampler.rows[-1])
+
+    cluster.sim.call_at(cluster.sim.now, lambda: cluster.recover_replica(1))
+    cluster.sim.run(until=cluster.sim.now + 2.0)
+    for metric in REPLICA_GAUGES:
+        assert f"R1.{metric}" in registry.gauges
+    assert "R1.tocommit_depth" in cluster.obs.sampler.rows[-1]
+    cluster.stop()
+
+
 def test_monitoring_is_read_only():
-    """Same seed, obs on vs off: the measured run is event-identical."""
+    """Same seed, full surface on vs off (registry + sampler + span
+    tracer + online monitor): the measured run is event-identical."""
 
     def measure(obs):
         return run_sirep(
@@ -189,6 +223,8 @@ def test_monitoring_is_read_only():
             obs=obs,
             sampler_interval=0.1,
             trace=obs,
+            span_trace=obs,
+            monitor=obs,
         )
 
     on, off = measure(True), measure(False)
@@ -197,3 +233,7 @@ def test_monitoring_is_read_only():
     assert on.extras["commits"] == off.extras["commits"]
     assert "obs" in on.extras["metrics"]
     assert "obs" not in off.extras["metrics"]
+    # the surface was actually attached on the instrumented run
+    assert on.extras["metrics"]["span_trace"]["started"] > 0
+    assert on.extras["metrics"]["monitor"]["polls"] > 0
+    assert on.extras["metrics"]["monitor"]["violations"] == []

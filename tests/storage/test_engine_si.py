@@ -245,11 +245,16 @@ def test_history_records_begin_and_commit_events(env):
     run_txn(sim, db, [("UPDATE acct SET bal = 5 WHERE id = 3",)], gid="G1")
     events = db.history[before:]
     assert events[0][0:2] == ("begin", "G1")
-    kind, gid, csn, readset, writeset = events[1]
+    kind, gid, csn, readset, writeset = events[1][:5]
     assert (kind, gid) == ("commit", "G1")
     assert csn == db.csn
     assert ("acct", 3) in writeset
     assert ("acct", 3) in readset  # the UPDATE read the row to compute bal
+    # both events carry a trailing sim timestamp (the online monitor's
+    # violation reports are anchored on it)
+    assert isinstance(events[0][-1], float)
+    assert isinstance(events[1][-1], float)
+    assert events[1][-1] >= events[0][-1]
 
 
 # ---------------------------------------------------------------------------
