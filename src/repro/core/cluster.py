@@ -14,6 +14,8 @@ from typing import Callable, Iterable, Optional
 
 from repro.core.replica import ReplicaNode
 from repro.core.srca_rep import MiddlewareReplica
+from repro.durable.store import DurabilityConfig, DurabilityStore
+from repro.durable.watermark import StabilityTracker
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
 from repro.obs import (
@@ -25,6 +27,7 @@ from repro.obs import (
 )
 from repro.si import check_one_copy_si, recorded_schedules
 from repro.si.onecopy import OneCopyReport
+from repro.si.schedule import BEGIN, COMMIT, Schedule, TxnSpec
 from repro.sim import Resource, Simulator
 from repro.storage import Database
 from repro.storage.engine import CostModel
@@ -87,6 +90,13 @@ class ClusterConfig:
     #: hosts, GCS members, and gids stay unique on a shared network.
     #: Must not contain ``"."`` or ``":"`` (reserved by the gid format).
     replica_prefix: str = "R"
+    #: attach the durability subsystem (repro.durable): per-replica
+    #: writeset logs + checkpoints, the cluster stability watermark, and
+    #: delta catch-up recovery as the default recovery mode
+    durable: bool = False
+    #: durability knobs (implies ``durable`` when set): log dir,
+    #: checkpoint interval, truncation policy, flush costs
+    durability: Optional[DurabilityConfig] = None
 
 
 class SIRepCluster:
@@ -111,6 +121,8 @@ class SIRepCluster:
         obs: Optional[Observability] = None,
         tracer: Optional[Tracer] = None,
         flight: Optional[FlightRecorder] = None,
+        durability: Optional[DurabilityStore] = None,
+        cold_start: bool = False,
     ):
         self.config = config or ClusterConfig()
         cfg = self.config
@@ -131,6 +143,18 @@ class SIRepCluster:
         self.discovery = (
             discovery if discovery is not None else DiscoveryService(self.sim)
         )
+        #: durable state shared across incarnations; pass an external
+        #: DurabilityStore to make it outlive the cluster (cold restart)
+        self.durable_store = durability if durability is not None else (
+            DurabilityStore(cfg.durability)
+            if (cfg.durable or cfg.durability is not None)
+            else None
+        )
+        self._cold_start = cold_start
+        self.stability: Optional[StabilityTracker] = None
+        if self.durable_store is not None:
+            self.stability = StabilityTracker(self.durable_store.config.truncation)
+            self.bus.stability = self.stability
         #: shared in a sharded deployment (one registry/sampler/event log
         #: across the groups), otherwise owned by this cluster when
         #: ``config.obs`` asks for it
@@ -192,11 +216,21 @@ class SIRepCluster:
         for index in range(cfg.n_replicas):
             self._add_replica(index)
 
-    def _add_replica(self, index: int) -> None:
+    def _spawn_replica(
+        self,
+        index: int,
+        name: str,
+        incarnation: int = 0,
+        recover_from: Optional[str] = None,
+        mode: Optional[str] = None,
+    ) -> tuple[ReplicaNode, MiddlewareReplica]:
+        """Build one middleware/DB pair (fresh, recovering, or joining)."""
         cfg = self.config
-        name = f"{cfg.replica_prefix}{index}"
-        cpu = Resource(self.sim, f"{name}.cpu", servers=cfg.cpu_servers)
-        disk = Resource(self.sim, f"{name}.disk") if cfg.with_disk else None
+        suffix = "" if incarnation == 0 else f"#{incarnation}"
+        cpu = Resource(self.sim, f"{name}.cpu{suffix}", servers=cfg.cpu_servers)
+        disk = (
+            Resource(self.sim, f"{name}.disk{suffix}") if cfg.with_disk else None
+        )
         cost_model = cfg.cost_model(index) if cfg.cost_model else None
         db = Database(
             self.sim,
@@ -211,6 +245,11 @@ class SIRepCluster:
         # The network address IS the replica name, so view changes and
         # driver-side crash observations speak about the same identifier.
         host = self.network.register(name)
+        durable = (
+            self.durable_store.replica(name)
+            if self.durable_store is not None
+            else None
+        )
         replica = MiddlewareReplica(
             self.sim,
             name=name,
@@ -220,17 +259,32 @@ class SIRepCluster:
             hole_sync=cfg.hole_sync,
             group_commit=cfg.group_commit,
             discovery=self.discovery,
+            incarnation=incarnation,
+            recover_from=recover_from,
             max_sessions=cfg.max_sessions,
             obs=self.obs,
+            durable=durable,
+            recovery_mode=mode or ("delta" if durable is not None else "full"),
+            cold_start=self._cold_start and recover_from is None,
+            on_recovered=self._on_replica_recovered,
         )
         replica.trace = self.trace
         replica.tracer = self.tracer
         replica.manager.tracer = self.tracer
+        return node, replica
+
+    def _add_replica(self, index: int) -> None:
+        name = f"{self.config.replica_prefix}{index}"
+        node, replica = self._spawn_replica(index, name)
         self.nodes.append(node)
         self.replicas.append(replica)
         self._register_replica_gauges(replica)
-        if self.monitor is not None:
-            self.monitor.watch(name, db)
+        if self.stability is not None and replica.wslog is not None:
+            self.stability.register(name, replica.wslog.durable_seq)
+        # cold restart defers watching until catch-up leveling is done
+        # (see cold_restart); the covered set is only complete then
+        if self.monitor is not None and not self._cold_start:
+            self.monitor.watch(name, node.db)
 
     # --------------------------------------------------------------- observability
 
@@ -257,6 +311,9 @@ class SIRepCluster:
         registry.gauge(f"{label}.buffer_occupancy", lambda: len(bus._batch_buffer))
         registry.gauge(f"{label}.mean_batch_size", lambda: bus.mean_batch_size)
         registry.gauge(f"{label}.delivered_entries", lambda: bus.delivered_count)
+        if self.stability is not None:
+            tracker = self.stability
+            registry.gauge(f"{label}.stable_watermark", tracker.stable_seq)
 
     def _register_replica_gauges(self, replica: MiddlewareReplica) -> None:
         """Point the sampler's per-replica gauges at one (possibly
@@ -285,21 +342,35 @@ class SIRepCluster:
             f"{name}.group_commit_mean_size",
             lambda: manager.group_log.mean_group_size if manager.group_log else 0.0,
         )
+        if replica.wslog is not None:
+            wslog = replica.wslog
+            registry.gauge(f"{name}.log_depth", lambda: wslog.retained_records)
+            registry.gauge(f"{name}.log_durable_seq", lambda: wslog.durable_seq)
+            registry.gauge(
+                f"{name}.log_tail", lambda: wslog.tip_seq - wslog.durable_seq
+            )
 
     # ------------------------------------------------------------ data loading
 
     def load_schema(self, ddl_statements: Iterable[str]) -> None:
-        """Apply CREATE statements identically on every replica."""
+        """Apply CREATE statements identically on every replica.
+
+        With durability on, each statement also becomes a genesis log
+        record so the log is replayable from sequence 1 (cold restart
+        rebuilds the schema before it replays any writeset).
+        """
         for sql in ddl_statements:
             self._schema_ddl.append(sql)
             for node, replica in zip(self.nodes, self.replicas):
                 node.db.run_ddl(sql)
                 replica.ddl_log.append(sql)
+                replica.log_genesis_ddl(sql)
 
     def bulk_load(self, table: str, rows: list[dict]) -> None:
         """Seed identical initial data on every replica (csn-0 versions)."""
-        for node in self.nodes:
+        for node, replica in zip(self.nodes, self.replicas):
             node.db.bulk_load(table, rows)
+            replica.log_genesis_load(table, rows)
 
     # ----------------------------------------------------------------- clients
 
@@ -322,6 +393,10 @@ class SIRepCluster:
             return
         self.discovery.unregister(replica.host.address)
         replica.crash()
+        if replica.wslog is not None:
+            # appended-but-unflushed log records die with the process;
+            # the cluster-wide copies survive in the peers' logs
+            replica.wslog.drop_tail()
         self.bus.crash(replica.name)
         self.network.crash(replica.host.address)
         if self.tracer is not None:
@@ -344,73 +419,162 @@ class SIRepCluster:
     def alive_replicas(self) -> list[MiddlewareReplica]:
         return [r for r in self.replicas if r.alive]
 
-    def recover_replica(self, index: int, donor_index: Optional[int] = None) -> MiddlewareReplica:
+    def _pick_donor(self, exclude: int) -> int:
+        """Best recovery donor: the alive replica with the most durable
+        log (it can serve the longest delta) and, tie-broken, the
+        shallowest to-commit queue (least busy applying writesets)."""
+        candidates = [
+            i for i, r in enumerate(self.replicas) if r.alive and i != exclude
+        ]
+        if not candidates:
+            raise ValueError("no alive donor replica")
+
+        def score(i: int) -> tuple:
+            replica = self.replicas[i]
+            durable_seq = (
+                replica.wslog.durable_seq if replica.wslog is not None else 0
+            )
+            return (-durable_seq, len(replica.manager.queue), i)
+
+        return min(candidates, key=score)
+
+    def recover_replica(
+        self,
+        index: int,
+        donor_index: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> MiddlewareReplica:
         """Bring a crashed replica back online (§5.4 recovery, extended
         to the *online* scheme of §8: transaction processing continues).
 
-        The new incarnation joins the group, multicasts a sync request,
-        and a donor ships schema, committed rows, certification state,
-        pending queue entries, and the in-doubt outcome map captured
-        atomically at the sync message's total-order position.  The
-        recovering replica then resumes normal delivery-order processing
-        and re-registers for discovery.
+        The new incarnation joins the group and multicasts a sync
+        request.  On a durable cluster the default ``mode`` is
+        ``"delta"``: the rejoiner replays its own durable log (plus its
+        newest checkpoint) and the donor ships only the log records
+        above the rejoiner's durable position — transfer proportional to
+        downtime, and the history stays auditable.  ``mode="full"`` (the
+        only mode without durability) ships the donor's entire committed
+        state captured atomically at the sync point.  The donor defaults
+        to the alive replica with the highest durable log / shallowest
+        queue; ``donor_index`` overrides.
         """
         old = self.replicas[index]
         if old.alive:
             raise ValueError(f"replica {index} is still alive")
         if donor_index is None:
-            donors = [i for i, r in enumerate(self.replicas) if r.alive]
-            if not donors:
-                raise ValueError("no alive donor replica")
-            donor_index = donors[0]
+            donor_index = self._pick_donor(exclude=index)
         donor = self.replicas[donor_index]
         if not donor.alive:
             raise ValueError(f"donor replica {donor_index} is not alive")
-        cfg = self.config
         name = old.name
         incarnation = self._incarnations.get(name, 0) + 1
         self._incarnations[name] = incarnation
-        cpu = Resource(self.sim, f"{name}.cpu#{incarnation}", servers=cfg.cpu_servers)
-        disk = (
-            Resource(self.sim, f"{name}.disk#{incarnation}") if cfg.with_disk else None
+        node, replica = self._spawn_replica(
+            index, name, incarnation=incarnation,
+            recover_from=donor.name, mode=mode,
         )
-        cost_model = cfg.cost_model(index) if cfg.cost_model else None
-        db = Database(
-            self.sim,
-            name=name,
-            conflict_detection="locking",
-            cost_model=cost_model,
-            cpu=cpu if cost_model else None,
-            disk=disk,
-        )
-        node = ReplicaNode(name=name, db=db, cpu=cpu, disk=disk)
-        member = self.bus.join(name)
-        host = self.network.register(name)
-        replica = MiddlewareReplica(
-            self.sim,
-            name=name,
-            node=node,
-            member=member,
-            host=host,
-            hole_sync=cfg.hole_sync,
-            group_commit=cfg.group_commit,
-            discovery=self.discovery,
-            incarnation=incarnation,
-            recover_from=donor.name,
-            max_sessions=cfg.max_sessions,
-            obs=self.obs,
-        )
-        replica.trace = self.trace
-        replica.tracer = self.tracer
-        replica.manager.tracer = self.tracer
         self.nodes[index] = node
         self.replicas[index] = replica
+        # excluded from audits until recovery completes; a delta recovery
+        # re-admits it (see _on_replica_recovered)
         self._recovered.add(name)
         self._register_replica_gauges(replica)
-        # NOT re-watched by the monitor: its pre-recovery history arrived
-        # via state transfer, not begin/commit events (same reason the
-        # offline audit excludes recovered replicas)
         return replica
+
+    def add_replica(self, donor_index: Optional[int] = None) -> MiddlewareReplica:
+        """Elastic online join: bootstrap replica N+1 while traffic
+        continues (§8's online recovery, applied to a brand-new member).
+
+        The joiner runs the ordinary recovery handshake with an empty
+        local log, so a durable donor ships checkpoint + log suffix (or
+        the whole log when nothing was truncated) and a non-durable one
+        a full state transfer.  Clients discover it once installed.
+        """
+        index = len(self.replicas)
+        if donor_index is None:
+            donor_index = self._pick_donor(exclude=index)
+        donor = self.replicas[donor_index]
+        if not donor.alive:
+            raise ValueError(f"donor replica {donor_index} is not alive")
+        name = f"{self.config.replica_prefix}{index}"
+        node, replica = self._spawn_replica(
+            index, name, recover_from=donor.name,
+        )
+        self.nodes.append(node)
+        self.replicas.append(replica)
+        self._recovered.add(name)
+        self._register_replica_gauges(replica)
+        return replica
+
+    def _on_replica_recovered(self, replica: MiddlewareReplica) -> None:
+        """Recovery completed: rejoin the watermark and, if the whole
+        history is made of replayable transactions, the audits."""
+        name = replica.name
+        if self.stability is not None and replica.wslog is not None:
+            self.stability.register(name, replica.wslog.durable_seq)
+            replica.member.ack_durable(replica.wslog.durable_seq)
+        if replica.audit_complete:
+            self._recovered.discard(name)
+            if self.monitor is not None:
+                # re-watch with the replayed prefix marked covered: those
+                # gids committed here via log replay, before any event
+                # the history will record
+                self.monitor.watch(
+                    name,
+                    replica.db,
+                    covered=frozenset(gid for gid, _keys in replica.replayed),
+                )
+        if self.flight is not None:
+            self.flight.snapshot(
+                f"recovered:{name}", replica=name, stats=replica.recovery_stats
+            )
+
+    @classmethod
+    def cold_restart(
+        cls,
+        config: ClusterConfig,
+        durability: DurabilityStore,
+        **kwargs,
+    ) -> "SIRepCluster":
+        """Rebuild a whole cluster from durable logs after every replica
+        stopped (full-cluster crash).
+
+        Each replica replays its own checkpoint + log; replicas whose
+        log ends early (their tail died with them) catch up from the
+        longest log before traffic starts.  Do NOT re-run
+        ``load_schema``/``bulk_load`` — genesis records replay them.
+        """
+        cluster = cls(config, durability=durability, cold_start=True, **kwargs)
+        cluster._level_after_cold_restart()
+        return cluster
+
+    def _level_after_cold_restart(self) -> None:
+        """Post-cold-start leveling: bring short-logged replicas up to
+        the longest log, then admit everyone to watermark + audits."""
+        best = max(
+            self.replicas,
+            key=lambda r: r.wslog.tip_seq if r.wslog is not None else 0,
+        )
+        if best.wslog is not None:
+            for replica in self.replicas:
+                if replica.wslog.tip_seq < best.wslog.tip_seq:
+                    replica.catch_up(
+                        best.wslog.records_after(replica.wslog.tip_seq)
+                    )
+                if self.stability is not None:
+                    self.stability.register(
+                        replica.name, replica.wslog.durable_seq
+                    )
+                    replica.member.ack_durable(replica.wslog.durable_seq)
+        for replica in self.replicas:
+            if not replica.audit_complete:
+                self._recovered.add(replica.name)
+            elif self.monitor is not None:
+                self.monitor.watch(
+                    replica.name,
+                    replica.db,
+                    covered=frozenset(gid for gid, _keys in replica.replayed),
+                )
 
     # ------------------------------------------------------------------ audits
 
@@ -423,12 +587,35 @@ class SIRepCluster:
         arrived via state transfer, not as begin/commit events — so the
         audit covers the continuously-alive replicas.
         """
-        databases = {
-            r.name: r.node.db
+        audited = [
+            r
             for r in self.replicas
             if r.alive and r.name not in self._recovered
-        }
+        ]
+        databases = {r.name: r.node.db for r in audited}
         schedules, locality = recorded_schedules(databases)
+        # A log-replayed prefix (delta recovery, cold restart) committed
+        # before the recorded history began, so it produced no events.
+        # Synthesise writes-only transactions for it — positioned before
+        # everything else — so the checker sees the same transaction set
+        # at every replica instead of flagging the prefix as divergence.
+        for replica in audited:
+            if not replica.replayed:
+                continue
+            schedule = schedules[replica.name]
+            prefix_txns = {}
+            prefix_events = []
+            for gid, keys in replica.replayed:
+                if gid in schedule.transactions or gid in prefix_txns:
+                    continue
+                prefix_txns[gid] = TxnSpec(gid, frozenset(), keys)
+                prefix_events.append((BEGIN, gid))
+                prefix_events.append((COMMIT, gid))
+            if prefix_txns:
+                schedules[replica.name] = Schedule(
+                    transactions={**prefix_txns, **schedule.transactions},
+                    events=prefix_events + list(schedule.events),
+                )
         # Transactions whose local replica crashed before commit do not
         # appear anywhere; transactions recorded at survivors keep their
         # locality mapping even if the home replica died mid-run.
@@ -491,6 +678,23 @@ class SIRepCluster:
                     replica.node.cpu.utilization() if replica.node.cpu else 0.0
                 ),
             }
+            if replica.wslog is not None:
+                per_replica[replica.name].update({
+                    "log_tip_seq": replica.wslog.tip_seq,
+                    "log_durable_seq": replica.wslog.durable_seq,
+                    "log_depth": replica.wslog.retained_records,
+                    "log_bytes": replica.wslog.durable_bytes,
+                    "log_flushes": replica.wslog.flushes,
+                    "checkpoints": (
+                        replica.checkpoints.saved
+                        if replica.checkpoints is not None
+                        else 0
+                    ),
+                })
+            if replica.recovery_stats:
+                per_replica[replica.name]["recovery"] = dict(
+                    replica.recovery_stats
+                )
         out = {
             "now": self.sim.now,
             "commits": self.total_commits(),
@@ -500,6 +704,8 @@ class SIRepCluster:
             "gcs_mean_batch_size": self.bus.mean_batch_size,
             "replicas": per_replica,
         }
+        if self.stability is not None:
+            out["stable_watermark"] = self.stability.stable_seq()
         if self.trace is not None:
             out["trace"] = self.trace.breakdown()
             out["trace_batches"] = self.trace.batch_breakdown()

@@ -123,6 +123,41 @@ class StateTransfer:
     certifier: Any  # Certifier clone
     pending: tuple  # WsRecords still in the donor's to-commit queue
     outcomes: dict  # gid -> committed/aborted (for in-doubt inquiries)
+    #: donor's writeset-log tip at the sync point, so a durable rejoiner
+    #: can realign (rebase) its own log after a full-state install
+    log_seq: int = 0
+
+    def nbytes(self) -> int:
+        """Approximate transfer size (recovery accounting / benchmarks)."""
+        import json
+
+        return len(json.dumps({
+            "ddl": list(self.ddl),
+            "rows": self.rows,
+            "tid": getattr(self.certifier, "last_validated_tid", 0),
+            "outcomes": self.outcomes,
+        }))
+
+
+@dataclass(frozen=True)
+class DeltaTransfer:
+    """Delta catch-up payload: only the log records the rejoiner missed,
+    ``(from_seq, donor tip]``, plus — when the donor's log no longer
+    reaches back to ``from_seq`` (truncated) — a checkpoint to restart
+    replay from.  Proportional to downtime, not database size (§8)."""
+
+    donor: str
+    from_seq: int  # records start strictly after this sequence
+    records: tuple  # LogRecords, ascending seq
+    outcomes: dict  # gid -> committed/aborted (for in-doubt inquiries)
+    pending: tuple = ()  # WsRecords still in the donor's to-commit queue
+    checkpoint: Any = None  # Checkpoint, when the delta alone is not enough
+
+    def nbytes(self) -> int:
+        size = sum(record.nbytes for record in self.records)
+        if self.checkpoint is not None:
+            size += self.checkpoint.nbytes
+        return size
 
 
 #: exception class registry for (de)marshalling errors across the channel

@@ -19,6 +19,10 @@ from repro.core import protocol
 from repro.core.replica import ReplicaManager, ReplicaNode
 from repro.core.tocommit import Entry
 from repro.core.validation import Certifier, WsRecord
+from repro.durable import log as durable_log
+from repro.durable.checkpoint import Checkpoint
+from repro.durable.log import LogRecord
+from repro.durable.store import ReplicaDurability
 from repro.errors import CertificationAborted
 from repro.gcs import Batch, DiscoveryService, GroupMember, Message, ViewChange
 from repro.net.network import ChannelClosed, Host
@@ -56,6 +60,10 @@ class MiddlewareReplica:
         base_ddl: tuple[str, ...] = (),
         max_sessions: Optional[int] = None,
         obs: Optional[Observability] = None,
+        durable: Optional[ReplicaDurability] = None,
+        recovery_mode: str = "delta",
+        cold_start: bool = False,
+        on_recovered=None,
     ):
         self.sim = sim
         self.name = name
@@ -111,17 +119,74 @@ class MiddlewareReplica:
         self.committed_gids: set[str] = set()
         self.commit_gate = Gate(name=f"{name}.commit-notify")
         self.manager.on_commit = self._note_local_commit
+        # ----- durability (repro.durable): writeset log + checkpoints -----
+        self.durable = durable
+        self.wslog = durable.log if durable is not None else None
+        self.checkpoints = durable.checkpoints if durable is not None else None
+        self.recovery_mode = recovery_mode
+        self.on_recovered = on_recovered
+        #: (gid, writeset keys) of log records replayed into this engine;
+        #: the cluster synthesizes audit prefix events from these
+        self.replayed: list[tuple[str, frozenset]] = []
+        #: False once any checkpoint contributed to this replica's state
+        #: (its prefix is then row images, not replayable transactions)
+        self.audit_complete = True
+        self.recovery_stats: dict[str, Any] = {}
+        #: contiguous prefix of log records whose effects are installed
+        #: locally (checkpoints snapshot at this sequence)
+        self._applied_prefix = 0
+        self._applied_pending: set[int] = set()
+        self._seq_of_gid: dict[str, int] = {}
+        self._flush_gate = Gate(name=f"{name}.log-flush")
+        self._from_seq = 0
         self._processes = [
             sim.spawn(self._deliver_loop(), name=f"{name}.deliver", daemon=True),
             sim.spawn(self._accept_loop(), name=f"{name}.accept", daemon=True),
         ]
+        if durable is not None:
+            self._processes.append(
+                sim.spawn(self._log_flusher(), name=f"{name}.log-flush", daemon=True)
+            )
+            interval = durable.config.checkpoint_interval
+            if interval is not None:
+                self._processes.append(
+                    sim.spawn(
+                        self._checkpoint_loop(interval),
+                        name=f"{name}.checkpointer", daemon=True,
+                    )
+                )
+            if durable.config.truncation != "none":
+                self._processes.append(
+                    sim.spawn(
+                        self._truncate_loop(durable.config.truncate_interval),
+                        name=f"{name}.log-gc", daemon=True,
+                    )
+                )
         if recover_from is None:
+            if cold_start and self.wslog is not None:
+                self.wslog.drop_tail()
+                from_seq = self._replay_local()
+                self.recovery_stats = {
+                    "mode": "cold",
+                    "records": len(self.replayed),
+                    "checkpoint": from_seq > 0,
+                }
             if discovery is not None:
                 discovery.register(host.address, accepts_load=self._accepts_load)
         else:
             # ask the donor for a consistent state at a total-order point;
-            # discovery registration happens once the state is installed
-            member.multicast(("sync", self.name, recover_from))
+            # discovery registration happens once the state is installed.
+            # Delta mode reports how far our own durable log reaches — the
+            # donor ships only the records after it; the local replay up
+            # to that point is deferred until the transfer arrives.
+            if self.wslog is not None and recovery_mode == "delta":
+                self._from_seq = self.wslog.tip_seq
+            member.multicast(self._sync_payload(recover_from))
+
+    def _sync_payload(self, donor: str) -> tuple:
+        if self.wslog is not None and self.recovery_mode == "delta":
+            return ("sync", self.name, donor, self._from_seq)
+        return ("sync", self.name, donor)
 
     def _accepts_load(self) -> bool:
         """'Replicas that are able to handle additional workload respond'
@@ -133,6 +198,191 @@ class MiddlewareReplica:
     def _note_local_commit(self, entry: Entry) -> None:
         self.committed_gids.add(entry.gid)
         self.commit_gate.notify_all()
+        if self.wslog is not None:
+            seq = self._seq_of_gid.pop(entry.gid, None)
+            if seq is not None:
+                self._mark_applied(seq)
+
+    # ------------------------------------------------------------- durability
+
+    def _mark_applied(self, seq: int) -> None:
+        """Track the contiguous applied prefix of the log (entries commit
+        out of log order when non-conflicting, hence the pending set)."""
+        if seq == self._applied_prefix + 1:
+            self._applied_prefix = seq
+            while self._applied_prefix + 1 in self._applied_pending:
+                self._applied_pending.discard(self._applied_prefix + 1)
+                self._applied_prefix += 1
+        else:
+            self._applied_pending.add(seq)
+
+    def _charge_disk(self, seconds: float) -> Generator[Any, Any, None]:
+        if self.node.disk is not None and seconds > 0:
+            yield from self.node.disk.use(seconds)
+
+    def _log_flusher(self) -> Generator[Any, Any, None]:
+        """Make appended log records durable, group-commit style: one
+        disk charge per run of records staged when the flush starts."""
+        while True:
+            yield from wait_until(self._flush_gate, lambda: bool(self.wslog.tail))
+            flushed = yield from self.wslog.flush(self._charge_disk)
+            if flushed and self.member.alive:
+                # the ack piggybacks on our next multicast and feeds the
+                # stability watermark that gates log truncation
+                self.member.ack_durable(self.wslog.durable_seq)
+                self._count("durable.log_flushes")
+
+    def _checkpoint_loop(self, interval: float) -> Generator[Any, Any, None]:
+        while True:
+            yield self.sim.sleep(interval, weak=True)
+            self.take_checkpoint()
+
+    def take_checkpoint(self) -> Optional[Checkpoint]:
+        """Snapshot the engine at the applied log prefix (atomic)."""
+        if self.wslog is None or self.checkpoints is None:
+            return None
+        checkpoint = Checkpoint.capture(
+            seq=self._applied_prefix,
+            cert_seq=self.wslog.tip_seq,
+            applied_beyond=self._applied_pending,
+            csn=self.db.csn,
+            ddl=self.ddl_log,
+            rows=self.db.export_committed(),
+            certifier=self.certifier,
+            outcomes=self.outcomes,
+        )
+        self.checkpoints.save(checkpoint)
+        self._emit(
+            "checkpoint",
+            seq=checkpoint.seq,
+            csn=checkpoint.csn,
+            nbytes=checkpoint.nbytes,
+        )
+        self._count("durable.checkpoints")
+        return checkpoint
+
+    def _truncate_loop(self, interval: float) -> Generator[Any, Any, None]:
+        while True:
+            yield self.sim.sleep(interval, weak=True)
+            self._truncate_once()
+
+    def _truncate_once(self) -> int:
+        """GC log segments below the stability watermark.
+
+        Capped at our own latest checkpoint: records above it are what a
+        local replay (cold start, delta recovery) rebuilds from, so they
+        stay even when cluster-stable.  No checkpoint -> no truncation.
+        """
+        tracker = getattr(self.member.bus, "stability", None)
+        if tracker is None or self.wslog is None:
+            return 0
+        checkpoint = self.checkpoints.latest() if self.checkpoints else None
+        if checkpoint is None:
+            return 0
+        floor = min(tracker.stable_seq(), checkpoint.seq)
+        dropped = self.wslog.truncate_to(floor)
+        if dropped:
+            self._emit("log_truncated", floor=floor, dropped=dropped)
+            self._count("durable.truncated_records", dropped)
+        return dropped
+
+    def log_genesis_ddl(self, sql: str) -> None:
+        """Record bootstrap DDL so the log is replayable from seq 1."""
+        if self.wslog is None:
+            return
+        record = LogRecord.ddl(self.wslog.next_seq, sql)
+        self.wslog.append_durable(record)
+        self._mark_applied(record.seq)
+
+    def log_genesis_load(self, table: str, rows) -> None:
+        """Record bootstrap bulk-loaded rows (see log_genesis_ddl)."""
+        if self.wslog is None:
+            return
+        record = LogRecord.load(self.wslog.next_seq, table, rows)
+        self.wslog.append_durable(record)
+        self._mark_applied(record.seq)
+
+    def _restore_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Load a checkpoint into this (fresh) replica's engine and
+        certifier; replay continues from checkpoint.seq."""
+        for sql in checkpoint.ddl:
+            self.db.run_ddl(sql)
+        self.ddl_log = list(checkpoint.ddl)
+        self.db.load_checkpoint(checkpoint.rows, checkpoint.csn)
+        certifier = Certifier()
+        certifier.last_validated_tid = checkpoint.cert_tid
+        certifier._last_writer = dict(checkpoint.cert_last_writer)
+        certifier.validated = checkpoint.cert_tid
+        self.certifier = certifier
+        self.outcomes.update(checkpoint.outcomes)
+        self._applied_prefix = checkpoint.seq
+        self._applied_pending = set(checkpoint.applied_beyond)
+        self.audit_complete = False
+
+    def _replay_record(
+        self, record: LogRecord, cert_floor: int = 0,
+        skip_install: frozenset = frozenset(),
+    ) -> None:
+        """Re-apply one log record.
+
+        ``cert_floor`` is the log position the current certifier state
+        already covers (a restored checkpoint's cert_seq): records at or
+        below it skip the certifier/DDL transition.  ``skip_install``
+        lists ws seqs whose row images the checkpoint already contains.
+        """
+        if record.kind == durable_log.DDL:
+            if record.seq > cert_floor:
+                self.db.run_ddl(record.sql)
+                self.ddl_log.append(record.sql)
+            self._mark_applied(record.seq)
+            return
+        if record.kind == durable_log.LOAD:
+            if record.seq > cert_floor:
+                self.db.bulk_load(record.table, [dict(r) for r in record.rows])
+            self._mark_applied(record.seq)
+            return
+        if record.seq > cert_floor:
+            # certification is deterministic and rejects leave no state
+            # behind, so transitioning on the logged passes alone lands
+            # the certifier in exactly the state it had at this seq
+            self.certifier.last_validated_tid = record.tid
+            for key in record.keys:
+                self.certifier._last_writer[key] = record.tid
+            self.certifier.validated += 1
+        if record.seq not in skip_install:
+            self.db.install_writeset(record.gid, record.ops)
+        self.replayed.append((record.gid, record.keys))
+        self.outcomes[record.gid] = protocol.COMMITTED
+        self._mark_applied(record.seq)
+
+    def _replay_local(self) -> int:
+        """Rebuild from our own durable state: newest checkpoint (if any)
+        plus the log suffix above it.  Returns the replay start seq."""
+        checkpoint = self.checkpoints.latest() if self.checkpoints else None
+        skip: frozenset = frozenset()
+        cert_floor = 0
+        start = 0
+        if checkpoint is not None:
+            self._restore_checkpoint(checkpoint)
+            skip = frozenset(checkpoint.applied_beyond)
+            cert_floor = checkpoint.cert_seq
+            start = checkpoint.seq
+        for record in self.wslog.records_after(start):
+            self._replay_record(record, cert_floor=cert_floor, skip_install=skip)
+        return start
+
+    def catch_up(self, records) -> int:
+        """Append-and-replay records beyond our tip (cold-restart leveling
+        from a peer whose log reaches further).  Bootstrap path: records
+        go down write-through, like genesis records."""
+        applied = 0
+        for record in records:
+            if record.seq <= self.wslog.tip_seq:
+                continue
+            self.wslog.append_durable(record)
+            self._replay_record(record)
+            applied += 1
+        return applied
 
     # --------------------------------------------------------------- observability
 
@@ -187,7 +437,7 @@ class MiddlewareReplica:
                     joined=list(item.joined),
                 )
                 continue
-            if isinstance(item, protocol.StateTransfer):
+            if isinstance(item, (protocol.StateTransfer, protocol.DeltaTransfer)):
                 continue  # late transfer from an abandoned donor
             self._handle_item(item)
 
@@ -220,11 +470,40 @@ class MiddlewareReplica:
         donor = self.recover_from
         awaiting_state = False
         buffered: list[Message | Batch] = []
+        phase_started = self.sim.now
+        recovery_span = None
+        if self.tracer is not None:
+            recovery_span = self.tracer.start(
+                "recovery", f"{self.gid_prefix}:recovery", replica=self.name,
+                mode=self.recovery_mode if self.wslog is not None else "full",
+                donor=donor,
+            )
         while True:
             item = yield self.member.deliver()
-            if isinstance(item, protocol.StateTransfer):
+            if isinstance(item, (protocol.StateTransfer, protocol.DeltaTransfer)):
                 if awaiting_state and item.donor == donor:
-                    self._install_state(item)
+                    if recovery_span is not None:
+                        self.tracer.record(
+                            "transfer_wait", f"{self.gid_prefix}:recovery",
+                            start=phase_started, end=self.sim.now,
+                            parent=recovery_span.span_id, replica=self.name,
+                        )
+                    if isinstance(item, protocol.DeltaTransfer):
+                        self._install_delta(item)
+                    else:
+                        self._install_state(item)
+                    if recovery_span is not None:
+                        self.tracer.record(
+                            "state_apply", f"{self.gid_prefix}:recovery",
+                            start=self.sim.now,
+                            parent=recovery_span.span_id, replica=self.name,
+                        )
+                        self.tracer.finish(
+                            recovery_span, donor=donor, **{
+                                k: v for k, v in self.recovery_stats.items()
+                                if isinstance(v, (int, float, str, bool))
+                            }
+                        )
                     for buffered_item in buffered:
                         self._handle_item(buffered_item)
                     return
@@ -245,7 +524,11 @@ class MiddlewareReplica:
                         donor = candidates[0]
                         awaiting_state = False
                         buffered.clear()
-                        self.member.multicast(("sync", self.name, donor))
+                        # the retarget keeps _from_seq: our durable log
+                        # position is unchanged, so the new donor ships
+                        # the same delta the crashed one never finished
+                        self.member.multicast(self._sync_payload(donor))
+                        self._emit("recovery_retarget", donor=donor)
                 continue
             if isinstance(item, Batch):
                 # batches carry only writesets (sync markers are never
@@ -271,28 +554,75 @@ class MiddlewareReplica:
 
     def _on_sync_request(self, payload: tuple) -> None:
         """Donor side: capture a consistent snapshot at this total-order
-        point and ship it to the recovering replica (atomic: no yields)."""
-        _kind, target, donor = payload
+        point and ship it to the recovering replica (atomic: no yields).
+
+        A 4-tuple marker carries the rejoiner's durable log position and
+        asks for a delta; the 3-tuple form is the full-state handshake.
+        """
+        if len(payload) == 4:
+            _kind, target, donor, from_seq = payload
+        else:
+            _kind, target, donor = payload
+            from_seq = None
         if donor != self.name or target == self.name:
             return
-        state = protocol.StateTransfer(
+        if from_seq is not None and self.wslog is not None:
+            state = self._build_delta(from_seq)
+        else:
+            state = self._build_full_state()
+        if isinstance(state, protocol.DeltaTransfer):
+            self._emit(
+                "recovery_delta_sent",
+                target=target,
+                from_seq=state.from_seq,
+                records=len(state.records),
+                nbytes=state.nbytes(),
+                checkpoint=state.checkpoint is not None,
+            )
+        else:
+            self._emit(
+                "recovery_state_sent",
+                target=target,
+                pending=len(state.pending),
+                ddl=len(state.ddl),
+            )
+        self.sim.spawn(
+            self._send_state(target, state),
+            name=f"{self.name}.state-transfer",
+            daemon=True,
+        )
+
+    def _build_full_state(self) -> protocol.StateTransfer:
+        return protocol.StateTransfer(
             donor=self.name,
             ddl=tuple(self.ddl_log),
             rows=self.db.export_committed(),
             certifier=self.certifier.clone(),
             pending=tuple(entry.record for entry in self.manager.queue),
             outcomes=dict(self.outcomes),
+            log_seq=self.wslog.tip_seq if self.wslog is not None else 0,
         )
-        self._emit(
-            "recovery_state_sent",
-            target=target,
-            pending=len(state.pending),
-            ddl=len(state.ddl),
-        )
-        self.sim.spawn(
-            self._send_state(target, state),
-            name=f"{self.name}.state-transfer",
-            daemon=True,
+
+    def _build_delta(self, from_seq: int):
+        """Everything the rejoiner misses: our log above ``from_seq``.
+
+        If truncation already dropped that range, fall back to our
+        newest checkpoint plus the log above *it*; with neither
+        available, a full state transfer.
+        """
+        checkpoint = None
+        start = from_seq
+        if not self.wslog.can_serve_from(from_seq):
+            checkpoint = self.checkpoints.latest() if self.checkpoints else None
+            if checkpoint is None or not self.wslog.can_serve_from(checkpoint.seq):
+                return self._build_full_state()
+            start = checkpoint.seq
+        return protocol.DeltaTransfer(
+            donor=self.name,
+            from_seq=start,
+            records=tuple(self.wslog.records_after(start)),
+            outcomes=dict(self.outcomes),
+            checkpoint=checkpoint,
         )
 
     def _send_state(self, target: str, state) -> Generator[Any, Any, None]:
@@ -314,6 +644,25 @@ class MiddlewareReplica:
             self.db.bulk_load(table, rows)
         self.certifier = state.certifier
         self.outcomes.update(state.outcomes)
+        if self.wslog is not None:
+            # our own log below the donor's tip is superseded by the
+            # shipped row images; realign so future appends stay
+            # seq-aligned with the cluster
+            self.wslog.rebase(state.log_seq)
+            self._applied_prefix = state.log_seq
+            self._applied_pending.clear()
+            self._seq_of_gid.clear()
+        # full-state history arrives as row images, not transactions:
+        # this incarnation stays out of the offline audit
+        self.audit_complete = False
+        self.recovery_stats = {
+            "mode": "full",
+            "donor": state.donor,
+            "from_seq": state.log_seq,
+            "records": sum(len(rows) for rows in state.rows.values()),
+            "bytes": state.nbytes(),
+            "checkpoint": False,
+        }
         for record in state.pending:
             self.manager.enqueue(Entry(record, local_txn=None))
         self.recovered = True
@@ -325,6 +674,63 @@ class MiddlewareReplica:
         )
         if self.discovery is not None:
             self.discovery.register(self.host.address, accepts_load=self._accepts_load)
+        if self.on_recovered is not None:
+            self.on_recovered(self)
+
+    def _install_delta(self, delta: protocol.DeltaTransfer) -> None:
+        """Recovering side, delta path: local replay + the shipped tail.
+
+        With no checkpoint in the transfer, our state below
+        ``delta.from_seq`` comes from our *own* durable log — real
+        replayable transactions — and the donor contributes only the
+        records we missed, so the whole history stays auditable.
+        """
+        cert_floor = 0
+        skip: frozenset = frozenset()
+        if delta.checkpoint is not None:
+            # our log was outrun by truncation: restart from the donor's
+            # checkpoint instead of our own prefix
+            checkpoint = delta.checkpoint
+            self._restore_checkpoint(checkpoint)
+            self.wslog.rebase(checkpoint.seq)
+            if self.checkpoints is not None:
+                self.checkpoints.save(checkpoint)
+            cert_floor = checkpoint.cert_seq
+            skip = frozenset(checkpoint.applied_beyond)
+        else:
+            self._replay_local()
+        transferred = 0
+        for record in delta.records:
+            if record.seq <= self.wslog.tip_seq:
+                continue  # duplicate of something we already replayed
+            self.wslog.append(record)
+            self._replay_record(record, cert_floor=cert_floor, skip_install=skip)
+            transferred += 1
+        self._flush_gate.notify_all()
+        self.outcomes.update(delta.outcomes)
+        self.recovered = True
+        self.recovery_stats = {
+            "mode": "delta",
+            "donor": delta.donor,
+            "from_seq": delta.from_seq,
+            "records": transferred,
+            "bytes": delta.nbytes(),
+            "checkpoint": delta.checkpoint is not None,
+        }
+        self._emit(
+            "recovery_delta_installed",
+            donor=delta.donor,
+            from_seq=delta.from_seq,
+            records=transferred,
+            nbytes=self.recovery_stats["bytes"],
+            checkpoint=delta.checkpoint is not None,
+            incarnation=self.incarnation,
+        )
+        self._count("recovery.delta_records", transferred)
+        if self.discovery is not None:
+            self.discovery.register(self.host.address, accepts_load=self._accepts_load)
+        if self.on_recovered is not None:
+            self.on_recovered(self)
 
     def _certify_writeset(
         self,
@@ -346,6 +752,15 @@ class MiddlewareReplica:
         ctx: Optional[TraceContext] = payload[5] if len(payload) > 5 else None
         record = WsRecord(gid, writeset, cert=cert, sender=sender)
         ok = self.certifier.validate(record)
+        if ok and self.wslog is not None:
+            # one log record per certified writeset, in validation order;
+            # every replica appends the identical record at the same seq
+            log_record = LogRecord.ws(
+                self.wslog.next_seq, gid, record.tid, sender, tuple(writeset)
+            )
+            self.wslog.append(log_record)
+            self._seq_of_gid[gid] = log_record.seq
+            self._flush_gate.notify_all()
         entry_ctx, deliver_span = self._trace_delivery(
             gid, sender, ctx, ok, sent_at, sequenced_at
         )
@@ -493,6 +908,11 @@ class MiddlewareReplica:
         _kind, ddl_id, sender, sql = payload
         self.db.run_ddl(sql)
         self.ddl_log.append(sql)
+        if self.wslog is not None:
+            record = LogRecord.ddl(self.wslog.next_seq, sql)
+            self.wslog.append(record)
+            self._mark_applied(record.seq)
+            self._flush_gate.notify_all()
         if sender == self.name:
             waiter = self._ddl_pending.pop(ddl_id, None)
             if waiter is not None:
@@ -528,7 +948,7 @@ class MiddlewareReplica:
                         self._trace_discard(session.gid)
                         self._spans_abort(session, status="lost-session")
                     return
-                if isinstance(request, protocol.StateTransfer):
+                if isinstance(request, (protocol.StateTransfer, protocol.DeltaTransfer)):
                     # inbound recovery state from a donor, not a client;
                     # feed it into the GCS inbox so the recovery phase
                     # sees state, markers, and view changes as one

@@ -1,0 +1,24 @@
+"""Durability subsystem: writeset log, checkpoints, stability watermark.
+
+Makes recovery proportional to downtime (delta catch-up from a donor's
+log instead of a full state copy), lets the cluster grow online
+(``cluster.add_replica``), and survive a full-cluster crash
+(``SIRepCluster.cold_restart``).  See README "Durability & recovery" and
+DESIGN §4g.
+"""
+
+from repro.durable.checkpoint import Checkpoint, CheckpointStore
+from repro.durable.log import LogRecord, WritesetLog
+from repro.durable.store import DurabilityConfig, DurabilityStore, ReplicaDurability
+from repro.durable.watermark import StabilityTracker
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurabilityStore",
+    "LogRecord",
+    "ReplicaDurability",
+    "StabilityTracker",
+    "WritesetLog",
+]

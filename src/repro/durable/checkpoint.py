@@ -1,0 +1,135 @@
+"""Checkpoints: storage-engine snapshots that bound log replay.
+
+A checkpoint captures, atomically, everything a replica needs to resume
+from log position ``seq`` without replaying the records at or below it:
+the committed row images at that point, the DDL already applied, and the
+certifier decision state.  ``applied_beyond`` lists records *above*
+``seq`` whose writesets are already installed (the replica applies
+certified writesets out of log order when they don't conflict), so
+replay after restore can skip re-installing them; ``cert_seq`` is the
+log tip at capture time — every record at or below it has already gone
+through the certifier whose state the checkpoint carries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An atomic snapshot of one replica at applied-log-prefix ``seq``."""
+
+    seq: int  # contiguous applied prefix of the log
+    cert_seq: int  # log tip at capture: records <= this are certified
+    applied_beyond: tuple  # seqs > seq already installed (out of order)
+    csn: int  # storage engine commit sequence number
+    ddl: tuple  # CREATE statements applied, in order
+    rows: dict  # table -> list of latest committed row dicts
+    cert_tid: int  # certifier.last_validated_tid
+    cert_last_writer: dict  # (table, pk) -> tid
+    outcomes: dict  # gid -> committed/aborted (in-doubt inquiries)
+    nbytes: int
+
+    @classmethod
+    def capture(cls, *, seq: int, cert_seq: int, applied_beyond, csn: int,
+                ddl, rows: dict, certifier, outcomes: dict) -> "Checkpoint":
+        rows = {table: [dict(r) for r in rs] for table, rs in rows.items()}
+        nbytes = len(json.dumps({
+            "seq": seq, "csn": csn, "ddl": list(ddl),
+            "rows": rows, "tid": certifier.last_validated_tid,
+        }))
+        return cls(
+            seq=seq,
+            cert_seq=cert_seq,
+            applied_beyond=tuple(sorted(applied_beyond)),
+            csn=csn,
+            ddl=tuple(ddl),
+            rows=rows,
+            cert_tid=certifier.last_validated_tid,
+            cert_last_writer=dict(certifier._last_writer),
+            outcomes=dict(outcomes),
+            nbytes=nbytes,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "seq": self.seq,
+            "cert_seq": self.cert_seq,
+            "applied_beyond": list(self.applied_beyond),
+            "csn": self.csn,
+            "ddl": list(self.ddl),
+            "rows": self.rows,
+            "cert_tid": self.cert_tid,
+            # (table, pk) tuple keys flattened for JSON
+            "cert_last_writer": [
+                [table, pk, tid]
+                for (table, pk), tid in self.cert_last_writer.items()
+            ],
+            "outcomes": self.outcomes,
+            "nbytes": self.nbytes,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Checkpoint":
+        return cls(
+            seq=data["seq"],
+            cert_seq=data["cert_seq"],
+            applied_beyond=tuple(data["applied_beyond"]),
+            csn=data["csn"],
+            ddl=tuple(data["ddl"]),
+            rows=data["rows"],
+            cert_tid=data["cert_tid"],
+            cert_last_writer={
+                (table, pk): tid
+                for table, pk, tid in data["cert_last_writer"]
+            },
+            outcomes=dict(data["outcomes"]),
+            nbytes=data["nbytes"],
+        )
+
+
+class CheckpointStore:
+    """Retains the last ``keep`` checkpoints for one replica name.
+
+    Like the log, the store outlives replica incarnations (in-memory) and
+    optionally persists each checkpoint as ``ckpt-<seq>.json`` on disk so
+    cold restart can start from the newest one instead of sequence 1.
+    """
+
+    def __init__(self, name: str, keep: int = 2,
+                 directory: Optional[Path] = None):
+        self.name = name
+        self.keep = max(1, keep)
+        self.directory = Path(directory) if directory is not None else None
+        self.checkpoints: list[Checkpoint] = []
+        self.saved = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.directory.glob("ckpt-*.json")):
+                self.checkpoints.append(
+                    Checkpoint.from_json(json.loads(path.read_text()))
+                )
+            self.checkpoints.sort(key=lambda cp: cp.seq)
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        if self.checkpoints and checkpoint.seq <= self.checkpoints[-1].seq:
+            return  # no progress since the last one
+        self.checkpoints.append(checkpoint)
+        self.saved += 1
+        if self.directory is not None:
+            path = self.directory / f"ckpt-{checkpoint.seq:08d}.json"
+            path.write_text(json.dumps(checkpoint.to_json()))
+        while len(self.checkpoints) > self.keep:
+            old = self.checkpoints.pop(0)
+            if self.directory is not None:
+                try:
+                    (self.directory / f"ckpt-{old.seq:08d}.json").unlink()
+                except FileNotFoundError:
+                    pass
+
+    def latest(self) -> Optional[Checkpoint]:
+        return self.checkpoints[-1] if self.checkpoints else None

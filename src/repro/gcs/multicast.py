@@ -123,6 +123,20 @@ class GroupMember:
         self.inbox: Queue = Queue(name=f"gcs({member_id})")
         self.alive = True
         self._last_delivery = 0.0
+        #: highest log sequence this member has made durable; piggybacked
+        #: on its outgoing traffic for the stability watermark
+        self.durable_seq = 0
+
+    def ack_durable(self, seq: int) -> None:
+        """Record local log durability up to ``seq``.
+
+        The ack rides on the member's next multicast (no extra message)
+        and is also pushed straight to the bus's stability tracker, so a
+        quiet member still advances the watermark.
+        """
+        self.durable_seq = max(self.durable_seq, seq)
+        if self.bus.stability is not None and self.alive:
+            self.bus.stability.ack(self.member_id, self.durable_seq)
 
     def multicast(self, payload: Any, batchable: bool = False) -> None:
         """Uniform reliable total order multicast to the whole group.
@@ -172,6 +186,10 @@ class GroupBus:
         self._busy_until = 0.0
         self.sequenced_batches = 0
         self.batched_entries = 0
+        #: optional repro.durable.watermark.StabilityTracker; when set,
+        #: sequencing piggybacks each sender's durable_seq ack onto the
+        #: traffic it was already sending
+        self.stability = None
 
     @property
     def batching(self) -> bool:
@@ -224,6 +242,8 @@ class GroupBus:
         if member is None or not member.alive:
             return
         member.alive = False
+        if self.stability is not None:
+            self.stability.crash(member_id)
         self.sim.call_at(
             self.sim.now + self.config.crash_detection,
             lambda: self._issue_view_change(crashed=(member_id,)),
@@ -263,6 +283,8 @@ class GroupBus:
     ) -> None:
         if not sender.alive:
             return  # lost with the sender: never sequenced, never delivered
+        if self.stability is not None:
+            self.stability.ack(sender.member_id, sender.durable_seq)
         if batchable and self.batching:
             if not self._batch_buffer:
                 self._batch_opened_at = self.sim.now

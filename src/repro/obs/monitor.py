@@ -68,14 +68,19 @@ class _Watch:
     __slots__ = (
         "name", "db", "cursor", "events", "begin_pos", "begin_t",
         "commit_pos", "commit_t", "committed", "local", "_last_begin",
+        "covered",
     )
 
-    def __init__(self, name: str, db):
+    def __init__(self, name: str, db, covered=frozenset()):
         self.name = name
         self.db = db
         self.cursor = 0
         #: normalized events retained for graph rebuilds after unwatch
         self.events: list[tuple] = []
+        #: gids installed by durable-log replay before watching started:
+        #: committed here, ordered before everything in ``db.history``,
+        #: but absent from it (delta recovery re-watch)
+        self.covered: frozenset = frozenset(covered)
         self.reset_derived()
 
     def reset_derived(self) -> None:
@@ -155,9 +160,16 @@ class OneCopyMonitor:
             yield self.sim.sleep(self.interval, weak=True)
             self.poll()
 
-    def watch(self, name: str, db) -> None:
-        """Start consuming ``db.history`` under this replica name."""
-        self._watches[name] = _Watch(name, db)
+    def watch(self, name: str, db, covered=None) -> None:
+        """Start consuming ``db.history`` under this replica name.
+
+        ``covered`` names transactions already committed at this replica
+        through durable-log replay (delta recovery): they precede every
+        event the history will produce but never appear in it, so the
+        ROWA and reads-from checks treat them as committed-before-watch
+        rather than missing.
+        """
+        self._watches[name] = _Watch(name, db, covered=covered or frozenset())
 
     def unwatch(self, name: str) -> None:
         """Stop auditing a replica (crashed / recovered) and rebuild the
@@ -354,6 +366,13 @@ class OneCopyMonitor:
                 self._graph.add_edge(
                     (COMMIT, writer), (BEGIN, reader), reason="rf"
                 )
+            elif writer_commit is None and writer in home.covered:
+                # the writer landed during the home replica's log replay:
+                # it committed before the watch (and thus the begin) even
+                # though the history never shows it
+                self._graph.add_edge(
+                    (COMMIT, writer), (BEGIN, reader), reason="rf"
+                )
             else:
                 self._graph.add_edge(
                     (BEGIN, reader), (COMMIT, writer), reason="not-rf"
@@ -392,7 +411,7 @@ class OneCopyMonitor:
             if now - first_t <= self.loss_grace:
                 continue
             for watch in self._watches.values():
-                if gid in watch.committed:
+                if gid in watch.committed or gid in watch.covered:
                     continue
                 key = (gid, watch.name)
                 if key in self._flagged_lost:

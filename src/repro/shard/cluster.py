@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.core.cluster import ClusterConfig, SIRepCluster
+from repro.durable.store import DurabilityConfig, DurabilityStore
 from repro.errors import PlacementError, SQLError
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
@@ -72,6 +73,12 @@ class ShardConfig:
     #: "hash" (balanced, deterministic) or "explicit" (requires table_map)
     partition: str = "hash"
     table_map: Optional[dict[str, int]] = None
+    #: attach the durability subsystem to every group: per-replica
+    #: writeset logs (names are globally unique via the group prefix),
+    #: per-group stability watermarks, delta catch-up recovery
+    durable: bool = False
+    #: durability knobs shared by all groups (implies ``durable``)
+    durability: Optional[DurabilityConfig] = None
 
 
 @dataclass
@@ -117,7 +124,13 @@ class ShardedReport:
 class ShardedCluster:
     """A sharded SI-Rep deployment: groups + partitioner + router."""
 
-    def __init__(self, config: Optional[ShardConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ShardConfig] = None,
+        *,
+        durability: Optional[DurabilityStore] = None,
+        cold_start: bool = False,
+    ):
         self.config = config or ShardConfig()
         cfg = self.config
         self.sim = Simulator(seed=cfg.seed)
@@ -151,6 +164,14 @@ class ShardedCluster:
             if cfg.flight
             else None
         )
+        #: ONE store shared by every group — replica names are globally
+        #: unique (group prefix), so each group's logs coexist under one
+        #: directory and a single handle suffices for cold restart
+        self.durable_store = durability if durability is not None else (
+            DurabilityStore(cfg.durability)
+            if (cfg.durable or cfg.durability is not None)
+            else None
+        )
         self.groups: list[SIRepCluster] = []
         for index in range(cfg.n_groups):
             group_cfg = ClusterConfig(
@@ -180,10 +201,25 @@ class ShardedCluster:
                     obs=self.obs,
                     tracer=self.tracer,
                     flight=self.flight,
+                    durability=self.durable_store,
+                    cold_start=cold_start,
                 )
             )
         self.router = ShardRouter(self)
         self._snapshot_log: list[SnapshotStamp] = []
+
+    @classmethod
+    def cold_restart(
+        cls, config: ShardConfig, durability: DurabilityStore
+    ) -> "ShardedCluster":
+        """Rebuild every group from the shared durability store after a
+        full-deployment crash (see :meth:`SIRepCluster.cold_restart`).
+        Do NOT re-run ``load_schema``/``bulk_load`` — the per-replica
+        genesis records replay them group by group."""
+        cluster = cls(config, durability=durability, cold_start=True)
+        for group in cluster.groups:
+            group._level_after_cold_restart()
+        return cluster
 
     # ------------------------------------------------------------ data loading
 
@@ -224,9 +260,22 @@ class ShardedCluster:
         """Crash one replica of one group (the group's SRCA-Rep handles it)."""
         self.groups[group].crash(index)
 
-    def recover_replica(self, group: int, index: int, donor_index: Optional[int] = None):
+    def recover_replica(
+        self,
+        group: int,
+        index: int,
+        donor_index: Optional[int] = None,
+        mode: Optional[str] = None,
+    ):
         """Recover a crashed replica from a donor within its group."""
-        return self.groups[group].recover_replica(index, donor_index=donor_index)
+        return self.groups[group].recover_replica(
+            index, donor_index=donor_index, mode=mode
+        )
+
+    def add_replica(self, group: int, donor_index: Optional[int] = None):
+        """Elastic online join: grow one group by a replica while the
+        whole sharded deployment keeps serving traffic."""
+        return self.groups[group].add_replica(donor_index=donor_index)
 
     def alive_replicas(self) -> list:
         return [r for group in self.groups for r in group.alive_replicas()]

@@ -279,6 +279,61 @@ class Database:
             out[name] = rows
         return out
 
+    # ------------------------------------------------------------- recovery
+
+    def install_writeset(self, gid: str, ops: Iterable[WriteOp]) -> Optional[int]:
+        """Install a certified writeset's after-images directly from a
+        durable log record (replay path — no transaction, no locks, no
+        history events, no cost charges).
+
+        Replay happens before the replica serves traffic, so there are no
+        concurrent snapshots to respect: each record bumps the csn and
+        installs its images, exactly as the original commit did.
+        Idempotent per gid, mirroring :meth:`has_committed`.
+        """
+        if gid in self._committed_gids:
+            return None
+        ops = list(ops)
+        csn: Optional[int] = None
+        if ops:
+            self.csn += 1
+            csn = self.csn
+            for op in ops:
+                table = self.catalog.table(op.table)
+                chain = table.ensure_chain(op.pk)
+                chain.install(Version(csn, op.values, writer=gid))
+                if op.values is not None:
+                    table.index_insert(op.values)
+        self._committed_gids.add(gid)
+        self.commits += 1
+        return csn
+
+    def load_checkpoint(self, rows: dict, csn: int) -> None:
+        """Restore committed state from a checkpoint (fresh replicas only).
+
+        Every row is installed as one version at the checkpoint's ``csn``
+        and the engine resumes from there, so subsequent log replay
+        installs at strictly increasing csns.  The caller has already run
+        the checkpoint's DDL.
+        """
+        if self.csn != 0 or self.commits or self._active:
+            raise InvalidTransactionState(
+                "load_checkpoint only into a fresh database"
+            )
+        for table_name, table_rows in rows.items():
+            table = self.catalog.table(table_name)
+            for values in table_rows:
+                row = table.schema.validate_row(values)
+                pk = row[table.schema.pk_column]
+                chain = table.ensure_chain(pk)
+                if len(chain):
+                    raise IntegrityError(
+                        f"duplicate checkpoint key {pk!r} in {table_name!r}"
+                    )
+                chain.install(Version(csn, row, writer="checkpoint"))
+                table.index_insert(row)
+        self.csn = csn
+
     # ------------------------------------------------------- transaction API
 
     def begin(self, gid: Optional[str] = None, remote: bool = False) -> Transaction:

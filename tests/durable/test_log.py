@@ -1,0 +1,161 @@
+"""Unit tests for the segmented writeset log (repro.durable.log)."""
+
+import pytest
+
+from repro.durable import LogRecord, WritesetLog
+from repro.storage.writeset import WriteOp
+
+
+def ws(seq, key=1):
+    return LogRecord.ws(
+        seq, f"R0:g{seq}", seq, "R0",
+        (WriteOp("kv", key, "update", {"k": key, "v": seq}),),
+    )
+
+
+def charge_free(seconds):
+    """Zero-cost charge generator for tests without a simulator."""
+    return
+    yield  # pragma: no cover
+
+
+def drain(gen):
+    """Run a charge-generator-driven flush to completion, return value."""
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+def test_append_assigns_contiguous_sequences():
+    log = WritesetLog("R0")
+    log.append(ws(1))
+    log.append(ws(2))
+    assert log.tip_seq == 2
+    assert log.durable_seq == 0  # nothing flushed yet
+    with pytest.raises(AssertionError):
+        log.append(ws(4))  # gap
+
+
+def test_flush_moves_tail_to_segments_with_one_charge_per_group():
+    log = WritesetLog("R0")
+    charges = []
+
+    def charge(seconds):
+        charges.append(seconds)
+        return
+        yield
+
+    for seq in range(1, 6):
+        log.append(ws(seq))
+    flushed = drain(log.flush(charge))
+    assert flushed == 5
+    assert log.durable_seq == 5
+    assert log.tail == []
+    assert len(charges) == 1  # group commit: one fsync for the batch
+    assert charges[0] > log.fsync_time  # fsync + per-byte cost
+
+
+def test_records_after_returns_suffix_across_segments_and_tail():
+    log = WritesetLog("R0", segment_records=2)
+    for seq in range(1, 6):
+        log.append(ws(seq))
+    drain(log.flush(charge_free))
+    log.append(ws(6))  # still in the tail
+    suffix = log.records_after(3)
+    assert [r.seq for r in suffix] == [4, 5, 6]
+    assert [r.seq for r in log.records_after(0)] == [1, 2, 3, 4, 5, 6]
+
+
+def test_truncate_drops_only_whole_sealed_segments():
+    log = WritesetLog("R0", segment_records=2)
+    for seq in range(1, 8):
+        log.append(ws(seq))
+    drain(log.flush(charge_free))
+    # segments: [1,2] [3,4] [5,6] sealed, [7] active
+    dropped = log.truncate_to(5)  # 5 splits the [5,6] segment: keep it
+    assert dropped == 4
+    assert log.start_seq == 5
+    assert log.can_serve_from(4)
+    assert not log.can_serve_from(3)
+    with pytest.raises(AssertionError):
+        log.records_after(2)  # truncated away
+    # active (unsealed) segment never goes, even if fully covered
+    assert log.truncate_to(100) == 2  # only [5,6]
+
+
+def test_drop_tail_loses_unflushed_records_only():
+    log = WritesetLog("R0")
+    log.append(ws(1))
+    drain(log.flush(charge_free))
+    log.append(ws(2))
+    log.append(ws(3))
+    lost = log.drop_tail()
+    assert lost == 2
+    assert log.tip_seq == log.durable_seq == 1
+    # the log accepts seq 2 again (a new incarnation re-certifies it)
+    log.append(ws(2))
+    assert log.tip_seq == 2
+
+
+def test_rebase_discards_prefix_and_realigns():
+    log = WritesetLog("R0")
+    for seq in range(1, 4):
+        log.append(ws(seq))
+    drain(log.flush(charge_free))
+    log.rebase(10)
+    assert log.tip_seq == log.durable_seq == 10
+    assert log.rebased_at == 10
+    assert not log.can_serve_from(5)
+    log.append(ws(11))
+    assert log.tip_seq == 11
+
+
+def test_append_durable_writes_through_without_a_flush():
+    log = WritesetLog("R0")
+    log.append_durable(LogRecord.ddl(1, "CREATE TABLE t (id INT PRIMARY KEY)"))
+    log.append_durable(LogRecord.load(2, "t", [{"id": 1}]))
+    assert log.durable_seq == 2
+    assert log.tail == []
+    log.append(ws(3))
+    with pytest.raises(AssertionError):
+        log.append_durable(ws(4))  # write-through behind a tail is a bug
+
+
+def test_disk_backed_log_round_trips(tmp_path):
+    log = WritesetLog("R0", segment_records=2, directory=tmp_path / "R0")
+    log.append_durable(LogRecord.ddl(1, "CREATE TABLE kv (k INT PRIMARY KEY)"))
+    for seq in range(2, 6):
+        log.append(ws(seq))
+    drain(log.flush(charge_free))
+    reloaded = WritesetLog("R0", segment_records=2, directory=tmp_path / "R0")
+    assert reloaded.durable_seq == 5
+    assert [r.seq for r in reloaded.records_after(0)] == [1, 2, 3, 4, 5]
+    assert reloaded.records_after(0)[0].sql.startswith("CREATE TABLE kv")
+    ops = reloaded.records_after(1)[0].ops
+    assert ops[0].key == ("kv", 1)
+
+
+def test_disk_backed_truncation_unlinks_segment_files(tmp_path):
+    log = WritesetLog("R0", segment_records=2, directory=tmp_path / "R0")
+    for seq in range(1, 6):
+        log.append(ws(seq))
+    drain(log.flush(charge_free))
+    files_before = sorted(p.name for p in (tmp_path / "R0").glob("seg-*.jsonl"))
+    assert len(files_before) == 3
+    log.truncate_to(4)
+    files_after = sorted(p.name for p in (tmp_path / "R0").glob("seg-*.jsonl"))
+    assert len(files_after) == 1
+    reloaded = WritesetLog("R0", segment_records=2, directory=tmp_path / "R0")
+    assert reloaded.start_seq == 5
+
+
+def test_record_json_round_trip():
+    record = ws(7, key=3)
+    again = LogRecord.from_json(record.to_json())
+    assert again == record
+    ddl = LogRecord.ddl(1, "CREATE TABLE t (id INT PRIMARY KEY)")
+    assert LogRecord.from_json(ddl.to_json()) == ddl
+    load = LogRecord.load(2, "t", [{"id": 1, "v": "x"}])
+    assert LogRecord.from_json(load.to_json()) == load
