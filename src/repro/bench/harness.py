@@ -13,10 +13,12 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.client import RoutedDriver
 from repro.core import ClusterConfig, SIRepCluster
 from repro.core.baselines import CentralizedSystem, TableLockSystem
 from repro.gcs import GcsConfig
 from repro.obs import sanitize
+from repro.reader import ReaderConfig
 from repro.storage.engine import CostModel
 from repro.workloads import ClientPool, ProcClientPool, Workload
 from repro.workloads.stats import Stats
@@ -110,6 +112,9 @@ def run_sirep(
     trace: bool = False,
     span_trace: bool = False,
     monitor: bool = False,
+    read_replicas: int = 0,
+    reader: Optional["ReaderConfig"] = None,
+    n_clients: Optional[int] = None,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
 
@@ -122,6 +127,12 @@ def run_sirep(
     ``span_trace`` attaches the causal span Tracer and ``monitor`` the
     online 1-copy-SI monitor.  Monitoring only reads simulator state, so
     the measured numbers are identical with and without it.
+
+    ``read_replicas``/``reader`` attach the lazy read tier; the client
+    pool then drives a :class:`~repro.client.RoutedDriver` so read-only
+    transactions are routed (with session tokens and admission control)
+    instead of served in place, and the measured point's extras carry
+    the read/update split plus the routing counters.
     """
     cluster = SIRepCluster(
         ClusterConfig(
@@ -137,17 +148,34 @@ def run_sirep(
             trace=trace,
             span_trace=span_trace,
             monitor=monitor,
+            read_replicas=read_replicas,
+            reader=reader,
         )
     )
     workload.install(cluster)
+    routed = read_replicas > 0 or reader is not None
+    driver = (
+        RoutedDriver(
+            cluster.network, cluster.discovery,
+            reader_config=cluster.reader_config,
+        )
+        if routed
+        else None
+    )
     pool = ClientPool(
-        cluster, workload, _n_clients(load), load, duration, warmup=warmup
+        cluster, workload, n_clients or _n_clients(load), load, duration,
+        warmup=warmup, driver=driver,
     )
     stats = pool.run()
     name = label or ("SRCA-Rep" if hole_sync else "SRCA-Opt")
     group_logs = [
         r.manager.group_log for r in cluster.replicas if r.manager.group_log
     ]
+    measured = max(duration - warmup, 1e-9)
+    split = {
+        category: data.commits / measured
+        for category, data in stats.categories.items()
+    }
     return _collect(
         name,
         load,
@@ -162,6 +190,9 @@ def run_sirep(
             if group_logs
             else 0.0
         ),
+        read_tps=split.get("read-only", 0.0),
+        update_tps=split.get("update", 0.0),
+        routing=driver.metrics() if driver is not None else None,
         metrics=sanitize(cluster.metrics()),
     )
 

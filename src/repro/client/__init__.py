@@ -1,5 +1,13 @@
 """The SI-Rep JDBC-like client driver (paper §5.4)."""
 
 from repro.client.driver import Connection, Driver, QueryResult
+from repro.client.routing import ReadAdmission, RoutedConnection, RoutedDriver
 
-__all__ = ["Driver", "Connection", "QueryResult"]
+__all__ = [
+    "Driver",
+    "Connection",
+    "QueryResult",
+    "RoutedDriver",
+    "RoutedConnection",
+    "ReadAdmission",
+]

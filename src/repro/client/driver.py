@@ -110,6 +110,9 @@ class Connection:
         #: on every ExecuteResp); a sharded router reads this to build the
         #: per-group snapshot vector of a cross-shard transaction.
         self._snapshot_csn: Optional[int] = None
+        #: certification csn of the last replicated commit — the session
+        #: token a routed driver demands on later reads (read-your-writes)
+        self._last_commit_csn: Optional[int] = None
         self.failovers = 0
         self.closed = False
 
@@ -158,9 +161,15 @@ class Connection:
     # -- public JDBC-ish surface ------------------------------------------------------
 
     def execute(
-        self, sql: str, params: tuple = ()
+        self, sql: str, params: tuple = (), readonly: bool = False
     ) -> Generator[Any, Any, QueryResult]:
-        """Run one SQL statement; starts a transaction if none is active."""
+        """Run one SQL statement; starts a transaction if none is active.
+
+        ``readonly`` declares the enclosing transaction read-only.  The
+        plain driver ignores it (full replicas serve reads in place);
+        :class:`~repro.client.routing.RoutedConnection` uses it to route
+        the transaction to the lazy read tier.
+        """
         self._check_open()
         request = protocol.ExecuteReq(
             next(self._seqs), sql, tuple(params), after_gid=self._resync_gid
@@ -235,6 +244,8 @@ class Connection:
             )
         if response.replicated and committed_gid is not None:
             self._last_update_gid = committed_gid
+        if response.csn is not None:
+            self._last_commit_csn = response.csn
 
     def _inquire(self, gid: Optional[str], crashed: str) -> Generator[Any, Any, str]:
         if gid is None:
@@ -289,6 +300,11 @@ class Connection:
     def snapshot_csn(self) -> Optional[int]:
         """Snapshot CSN of the most recent statement's transaction."""
         return self._snapshot_csn
+
+    @property
+    def last_commit_csn(self) -> Optional[int]:
+        """Certification csn of the last replicated commit (session token)."""
+        return self._last_commit_csn
 
     @property
     def in_transaction(self) -> bool:

@@ -25,6 +25,7 @@ from repro.obs import (
     Tracer,
     sanitize,
 )
+from repro.reader import CertifiedFeed, ReaderConfig, ReadReplica
 from repro.si import check_one_copy_si, recorded_schedules
 from repro.si.onecopy import OneCopyReport
 from repro.si.schedule import BEGIN, COMMIT, Schedule, TxnSpec
@@ -97,6 +98,13 @@ class ClusterConfig:
     #: durability knobs (implies ``durable`` when set): log dir,
     #: checkpoint interval, truncation policy, flush costs
     durability: Optional[DurabilityConfig] = None
+    #: read-scaling tier (repro.reader): lazy read-only replicas created
+    #: at bootstrap, named ``f"{replica_prefix}r{i}"`` — subscribed to
+    #: the certified feed, never group members
+    read_replicas: int = 0
+    #: read-tier knobs: staleness bound, fan-out delay, routing policy,
+    #: admission caps (None = defaults)
+    reader: Optional[ReaderConfig] = None
 
 
 class SIRepCluster:
@@ -213,8 +221,19 @@ class SIRepCluster:
         self._schema_ddl: list[str] = []
         self._incarnations: dict[str, int] = {}
         self._recovered: set[str] = set()
+        #: read tier: the certified-stream fan-out and the lazy replicas.
+        #: The feed always exists (publishing with no subscribers is a
+        #: pure bookkeeping no-op — it schedules nothing, so a run
+        #: without readers is event-identical to one predating the tier)
+        self.reader_config = cfg.reader or ReaderConfig()
+        self.feed = CertifiedFeed(
+            self.sim, fanout_delay=self.reader_config.fanout_delay
+        )
+        self.readers: list[ReadReplica] = []
         for index in range(cfg.n_replicas):
             self._add_replica(index)
+        for index in range(cfg.read_replicas):
+            self._add_reader(index)
 
     def _spawn_replica(
         self,
@@ -267,6 +286,7 @@ class SIRepCluster:
             recovery_mode=mode or ("delta" if durable is not None else "full"),
             cold_start=self._cold_start and recover_from is None,
             on_recovered=self._on_replica_recovered,
+            feed=self.feed,
         )
         replica.trace = self.trace
         replica.tracer = self.tracer
@@ -285,6 +305,158 @@ class SIRepCluster:
         # (see cold_restart); the covered set is only complete then
         if self.monitor is not None and not self._cold_start:
             self.monitor.watch(name, node.db)
+
+    # --------------------------------------------------------------- read tier
+
+    def _spawn_reader(self, index: int, name: str, from_seq: int = 0) -> ReadReplica:
+        """Build one lazy read replica: its own engine + cpu + host, a
+        feed subscription — but no group membership or durable log."""
+        cfg = self.config
+        cpu = Resource(self.sim, f"{name}.cpu", servers=cfg.cpu_servers)
+        # readers index the cost-model factory after the voting replicas
+        # (heterogeneous tiers stay expressible; zero-arg adapters ignore it)
+        cost_model = (
+            cfg.cost_model(cfg.n_replicas + index) if cfg.cost_model else None
+        )
+        db = Database(
+            self.sim,
+            name=name,
+            conflict_detection="locking",
+            cost_model=cost_model,
+            cpu=cpu if cost_model else None,
+        )
+        node = ReplicaNode(name=name, db=db, cpu=cpu, disk=None)
+        host = self.network.register(name)
+        return ReadReplica(
+            self.sim,
+            name=name,
+            node=node,
+            host=host,
+            feed=self.feed,
+            config=self.reader_config,
+            discovery=self.discovery,
+            obs=self.obs,
+            from_seq=from_seq,
+        )
+
+    def _add_reader(self, index: int) -> ReadReplica:
+        name = f"{self.config.replica_prefix}r{index}"
+        reader = self._spawn_reader(index, name)
+        self.readers.append(reader)
+        self._register_reader_gauges(reader)
+        # cold restart watches after leveling, once the covered set is known
+        if self.monitor is not None and not self._cold_start:
+            self._watch_reader(reader)
+        return reader
+
+    def _watch_reader(self, reader: ReadReplica) -> None:
+        """Admit a reader to the online monitor: its bootstrap prefix is
+        covered, and its advertised staleness promise (if any) becomes a
+        per-watch lost-writeset grace."""
+        self.monitor.watch(
+            reader.name,
+            reader.db,
+            covered=frozenset(reader.covered_gids),
+            grace=self.reader_config.staleness_grace,
+        )
+
+    def add_reader(self, donor_index: Optional[int] = None) -> ReadReplica:
+        """Elastic read-tier join while traffic continues.
+
+        The donor is captured atomically (no yields): with durability
+        on, the reader replays the donor's writeset log — real
+        replayable transactions, so the join stays inside the Def. 3
+        audit; without it, the donor's committed row images plus its
+        pending certified writesets (row images are not replayable, so
+        that incarnation is excluded from the offline audit, like a
+        full-state-recovered replica).  The feed subscription starts at
+        the donor's feed position; anything newer is backfilled or fans
+        out normally, so no certified item is missed or applied twice.
+        """
+        index = len(self.readers)
+        if donor_index is None:
+            donor_index = self._pick_donor(exclude=-1)
+        donor = self.replicas[donor_index]
+        if not donor.alive:
+            raise ValueError(f"donor replica {donor_index} is not alive")
+        name = f"{self.config.replica_prefix}r{index}"
+        reader = self._spawn_reader(index, name, from_seq=donor.feed_seq)
+        if donor.wslog is not None and donor.wslog.can_serve_from(0):
+            reader.bootstrap_replay(donor.wslog.records_after(0))
+        else:
+            from repro.core import protocol as _protocol
+
+            reader.bootstrap_snapshot(
+                ddl=tuple(donor.ddl_log),
+                rows=donor.db.export_committed(),
+                csn=donor.db.csn,
+                pending=tuple(entry.record for entry in donor.manager.queue),
+                cert_tid=donor.certifier.last_validated_tid,
+                committed_gids=[
+                    gid for gid, outcome in donor.outcomes.items()
+                    if outcome == _protocol.COMMITTED
+                ],
+            )
+        self.readers.append(reader)
+        self._register_reader_gauges(reader)
+        if self.monitor is not None:
+            self._watch_reader(reader)
+        if self.flight is not None:
+            self.flight.snapshot(
+                f"reader-joined:{name}", replica=name,
+                watermark=reader.watermark, feed_pos=reader.feed_pos,
+            )
+        return reader
+
+    def _teardown_reader(self, reader: ReadReplica) -> None:
+        self.discovery.unregister(reader.host.address)
+        reader.crash()
+        self.network.crash(reader.host.address)
+        if self.monitor is not None:
+            # a departed reader's missing suffix is legitimate — keep
+            # auditing it and every certified update would eventually be
+            # flagged lost
+            self.monitor.unwatch(reader.name)
+        if self.obs is not None:
+            # same hygiene as a crashed full replica: no stale
+            # ``R*.reader.*`` gauges probing the corpse
+            self.obs.registry.unregister_prefix(f"{reader.name}.")
+
+    def crash_reader(self, index: int) -> None:
+        """Take down a lazy replica abruptly (fault injection)."""
+        reader = self.readers[index]
+        if not reader.alive:
+            return
+        self._teardown_reader(reader)
+        if self.flight is not None:
+            self.flight.snapshot(
+                f"crash:{reader.name}", replica=reader.name, index=index
+            )
+
+    def remove_reader(self, index: int) -> None:
+        """Decommission a lazy replica gracefully (scale-down): same
+        teardown as a crash — readers hold no replicated state that
+        needs handing off — minus the flight-recorder post-mortem."""
+        reader = self.readers[index]
+        if not reader.alive:
+            return
+        self._teardown_reader(reader)
+
+    def alive_readers(self) -> list[ReadReplica]:
+        return [r for r in self.readers if r.alive]
+
+    def _register_reader_gauges(self, reader: ReadReplica) -> None:
+        if self.obs is None:
+            return
+        registry = self.obs.registry
+        name = reader.name
+        registry.gauge(f"{name}.reader.watermark", lambda: reader.watermark)
+        registry.gauge(f"{name}.reader.lag", lambda: reader.lag)
+        registry.gauge(f"{name}.reader.staleness_s", lambda: reader.staleness_s)
+        registry.gauge(f"{name}.reader.queue_depth", lambda: len(reader.inbox))
+        registry.gauge(
+            f"{name}.reader.active_sessions", lambda: reader.active_sessions
+        )
 
     # --------------------------------------------------------------- observability
 
@@ -365,12 +537,17 @@ class SIRepCluster:
                 node.db.run_ddl(sql)
                 replica.ddl_log.append(sql)
                 replica.log_genesis_ddl(sql)
+            for reader in self.readers:
+                # genesis never rides the feed: readers get it directly
+                reader.bootstrap_genesis_ddl(sql)
 
     def bulk_load(self, table: str, rows: list[dict]) -> None:
         """Seed identical initial data on every replica (csn-0 versions)."""
         for node, replica in zip(self.nodes, self.replicas):
             node.db.bulk_load(table, rows)
             replica.log_genesis_load(table, rows)
+        for reader in self.readers:
+            reader.bootstrap_rows(table, rows)
 
     # ----------------------------------------------------------------- clients
 
@@ -575,6 +752,13 @@ class SIRepCluster:
                     replica.db,
                     covered=frozenset(gid for gid, _keys in replica.replayed),
                 )
+        # readers restart empty (no durable log of their own): bootstrap
+        # each from the leveled longest log, then admit to the monitor
+        for reader in self.readers:
+            if best.wslog is not None:
+                reader.bootstrap_replay(best.wslog.records_after(0))
+            if self.monitor is not None:
+                self._watch_reader(reader)
 
     # ------------------------------------------------------------------ audits
 
@@ -592,6 +776,12 @@ class SIRepCluster:
             for r in self.replicas
             if r.alive and r.name not in self._recovered
         ]
+        # lazy read replicas are full members of the audit: their applied
+        # stream is real remote transactions in certification order, and
+        # their local read-only snapshots must embed into the 1-copy-SI
+        # order like anyone else's.  Snapshot-joined readers (row images,
+        # audit_complete=False) are excluded like full-state recoveries.
+        audited += [r for r in self.readers if r.alive and r.audit_complete]
         databases = {r.name: r.node.db for r in audited}
         schedules, locality = recorded_schedules(databases)
         # A log-replayed prefix (delta recovery, cold restart) committed
@@ -704,6 +894,9 @@ class SIRepCluster:
             "gcs_mean_batch_size": self.bus.mean_batch_size,
             "replicas": per_replica,
         }
+        if self.readers:
+            out["readers"] = {r.name: r.metrics() for r in self.readers}
+            out["feed"] = self.feed.metrics()
         if self.stability is not None:
             out["stable_watermark"] = self.stability.stable_seq()
         if self.trace is not None:
@@ -728,8 +921,13 @@ class SIRepCluster:
         for replica in self.replicas:
             if replica.alive:
                 replica.crash()
+        for reader in self.readers:
+            if reader.alive:
+                reader.crash()
         if self.tracer is not None and self._owns_tracer:
             self.tracer.close_open(status="shutdown")
         if self.obs is not None and self._owns_obs:
             for replica in self.replicas:
                 self.obs.registry.unregister_prefix(f"{replica.name}.")
+            for reader in self.readers:
+                self.obs.registry.unregister_prefix(f"{reader.name}.")

@@ -31,6 +31,12 @@ class ExecuteReq:
     #: client reads its own writes on the new replica (§3's assignment
     #: rule, applied at reconnection time).
     after_gid: Optional[str] = None
+    #: session-guarantee token (read-your-writes / monotonic reads): the
+    #: serving replica delays the statement until its apply watermark —
+    #: for a lazy read replica the last applied certification tid, for a
+    #: full replica its commit csn (the two counters advance in lockstep
+    #: over the same certified stream) — has reached this value.
+    min_csn: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -61,6 +67,10 @@ class CommitResp:
     #: True when a writeset was certified and will commit on every
     #: replica (drives the driver's session-consistency tracking)
     replicated: bool = False
+    #: certification tid of a replicated commit — the session token a
+    #: client hands back on reads (``ExecuteReq.min_csn``) so a lazy
+    #: read replica serves its snapshot only at-or-after this commit
+    csn: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -126,6 +136,9 @@ class StateTransfer:
     #: donor's writeset-log tip at the sync point, so a durable rejoiner
     #: can realign (rebase) its own log after a full-state install
     log_seq: int = 0
+    #: donor's certified-feed position at the sync point, so the new
+    #: incarnation's publishes stay seq-aligned with the read tier
+    feed_seq: int = 0
 
     def nbytes(self) -> int:
         """Approximate transfer size (recovery accounting / benchmarks)."""

@@ -64,6 +64,7 @@ class MiddlewareReplica:
         recovery_mode: str = "delta",
         cold_start: bool = False,
         on_recovered=None,
+        feed=None,
     ):
         self.sim = sim
         self.name = name
@@ -119,6 +120,11 @@ class MiddlewareReplica:
         self.committed_gids: set[str] = set()
         self.commit_gate = Gate(name=f"{name}.commit-notify")
         self.manager.on_commit = self._note_local_commit
+        #: certified-stream fan-out to the read tier (repro.reader); the
+        #: seq counter advances on every replicated item even with no
+        #: feed attached, so state transfers stay aligned cluster-wide
+        self.feed = feed
+        self.feed_seq = 0
         # ----- durability (repro.durable): writeset log + checkpoints -----
         self.durable = durable
         self.wslog = durable.log if durable is not None else None
@@ -250,6 +256,7 @@ class MiddlewareReplica:
             rows=self.db.export_committed(),
             certifier=self.certifier,
             outcomes=self.outcomes,
+            feed_seq=self.feed_seq,
         )
         self.checkpoints.save(checkpoint)
         self._emit(
@@ -290,7 +297,7 @@ class MiddlewareReplica:
         """Record bootstrap DDL so the log is replayable from seq 1."""
         if self.wslog is None:
             return
-        record = LogRecord.ddl(self.wslog.next_seq, sql)
+        record = LogRecord.ddl(self.wslog.next_seq, sql, genesis=True)
         self.wslog.append_durable(record)
         self._mark_applied(record.seq)
 
@@ -317,6 +324,7 @@ class MiddlewareReplica:
         self.outcomes.update(checkpoint.outcomes)
         self._applied_prefix = checkpoint.seq
         self._applied_pending = set(checkpoint.applied_beyond)
+        self.feed_seq = checkpoint.feed_seq
         self.audit_complete = False
 
     def _replay_record(
@@ -334,6 +342,11 @@ class MiddlewareReplica:
             if record.seq > cert_floor:
                 self.db.run_ddl(record.sql)
                 self.ddl_log.append(record.sql)
+                if not record.genesis:
+                    # replicated DDL occupies a feed position; replay
+                    # advances the counter silently (the survivors
+                    # already published the item)
+                    self.feed_seq += 1
             self._mark_applied(record.seq)
             return
         if record.kind == durable_log.LOAD:
@@ -349,6 +362,7 @@ class MiddlewareReplica:
             for key in record.keys:
                 self.certifier._last_writer[key] = record.tid
             self.certifier.validated += 1
+            self.feed_seq += 1
         if record.seq not in skip_install:
             self.db.install_writeset(record.gid, record.ops)
         self.replayed.append((record.gid, record.keys))
@@ -601,6 +615,7 @@ class MiddlewareReplica:
             pending=tuple(entry.record for entry in self.manager.queue),
             outcomes=dict(self.outcomes),
             log_seq=self.wslog.tip_seq if self.wslog is not None else 0,
+            feed_seq=self.feed_seq,
         )
 
     def _build_delta(self, from_seq: int):
@@ -644,6 +659,7 @@ class MiddlewareReplica:
             self.db.bulk_load(table, rows)
         self.certifier = state.certifier
         self.outcomes.update(state.outcomes)
+        self.feed_seq = state.feed_seq
         if self.wslog is not None:
             # our own log below the donor's tip is superseded by the
             # shipped row images; realign so future appends stay
@@ -761,6 +777,16 @@ class MiddlewareReplica:
             self.wslog.append(log_record)
             self._seq_of_gid[gid] = log_record.seq
             self._flush_gate.notify_all()
+        if ok:
+            # fan the certified item out to the read tier; every replica
+            # publishes the identical item at the identical seq, the
+            # feed keeps the first and drops the rest
+            self.feed_seq += 1
+            if self.feed is not None:
+                self.feed.publish(
+                    ("ws", self.feed_seq, record.tid, gid,
+                     tuple(writeset), sender)
+                )
         entry_ctx, deliver_span = self._trace_delivery(
             gid, sender, ctx, ok, sent_at, sequenced_at
         )
@@ -908,6 +934,9 @@ class MiddlewareReplica:
         _kind, ddl_id, sender, sql = payload
         self.db.run_ddl(sql)
         self.ddl_log.append(sql)
+        self.feed_seq += 1
+        if self.feed is not None:
+            self.feed.publish(("ddl", self.feed_seq, sql))
         if self.wslog is not None:
             record = LogRecord.ddl(self.wslog.next_seq, sql)
             self.wslog.append(record)
@@ -1019,6 +1048,15 @@ class MiddlewareReplica:
                 lambda: request.after_gid in self.committed_gids
                 or self.outcomes.get(request.after_gid) == protocol.ABORTED,
             )
+        if request.min_csn is not None and (
+            session.txn is None or not session.txn.active
+        ):
+            # session token from the routed driver: the new snapshot must
+            # include every certified commit up to min_csn.  The local
+            # csn counts exactly the certified writesets committed here,
+            # so it advances in lockstep with the certification tid.
+            token = request.min_csn
+            yield from wait_until(self.commit_gate, lambda: self.db.csn >= token)
         sql_upper = request.sql.lstrip().upper()
         if sql_upper.startswith("CREATE"):
             if session.txn is not None and session.txn.active:
@@ -1160,7 +1198,13 @@ class MiddlewareReplica:
         if root_span is not None:
             self.tracer.finish(root_span)
         self.stats_commits += 1
-        return protocol.CommitResp(request.seq, protocol.COMMITTED, replicated=True)
+        # the certification tid is the session's read-your-writes token:
+        # any replica (lazy or full) whose watermark/csn has reached it
+        # includes this commit in its snapshots
+        return protocol.CommitResp(
+            request.seq, protocol.COMMITTED, replicated=True,
+            csn=entry.record.tid,
+        )
 
     # ------------------------------------------------------------- failover side
 

@@ -33,10 +33,14 @@ class Checkpoint:
     cert_last_writer: dict  # (table, pk) -> tid
     outcomes: dict  # gid -> committed/aborted (in-doubt inquiries)
     nbytes: int
+    #: certified-feed position at capture (replicated records only), so a
+    #: restored incarnation keeps publishing at read-tier-aligned seqs
+    feed_seq: int = 0
 
     @classmethod
     def capture(cls, *, seq: int, cert_seq: int, applied_beyond, csn: int,
-                ddl, rows: dict, certifier, outcomes: dict) -> "Checkpoint":
+                ddl, rows: dict, certifier, outcomes: dict,
+                feed_seq: int = 0) -> "Checkpoint":
         rows = {table: [dict(r) for r in rs] for table, rs in rows.items()}
         nbytes = len(json.dumps({
             "seq": seq, "csn": csn, "ddl": list(ddl),
@@ -53,6 +57,7 @@ class Checkpoint:
             cert_last_writer=dict(certifier._last_writer),
             outcomes=dict(outcomes),
             nbytes=nbytes,
+            feed_seq=feed_seq,
         )
 
     def to_json(self) -> dict:
@@ -71,6 +76,7 @@ class Checkpoint:
             ],
             "outcomes": self.outcomes,
             "nbytes": self.nbytes,
+            "feed_seq": self.feed_seq,
         }
 
     @classmethod
@@ -89,6 +95,7 @@ class Checkpoint:
             },
             outcomes=dict(data["outcomes"]),
             nbytes=data["nbytes"],
+            feed_seq=data.get("feed_seq", 0),
         )
 
 

@@ -57,6 +57,11 @@ class LogRecord:
     table: str = ""  # load: bulk-loaded table
     rows: tuple = ()  # load: bulk-loaded row dicts
     nbytes: int = 0
+    #: True for bootstrap records appended outside the replicated stream
+    #: (genesis schema/load).  Replay distinguishes them because only
+    #: *replicated* records advance the certified-feed position that the
+    #: read tier subscribes at.
+    genesis: bool = False
 
     @classmethod
     def ws(cls, seq: int, gid: str, tid: int, sender: str, ops) -> "LogRecord":
@@ -66,14 +71,16 @@ class LogRecord:
                    ops=ops, nbytes=size)
 
     @classmethod
-    def ddl(cls, seq: int, sql: str) -> "LogRecord":
-        return cls(seq=seq, kind=DDL, sql=sql, nbytes=len(json.dumps([seq, sql])))
+    def ddl(cls, seq: int, sql: str, genesis: bool = False) -> "LogRecord":
+        return cls(seq=seq, kind=DDL, sql=sql, genesis=genesis,
+                   nbytes=len(json.dumps([seq, sql])))
 
     @classmethod
     def load(cls, seq: int, table: str, rows) -> "LogRecord":
         rows = tuple(dict(row) for row in rows)
         size = len(json.dumps([seq, table, list(rows)]))
-        return cls(seq=seq, kind=LOAD, table=table, rows=rows, nbytes=size)
+        return cls(seq=seq, kind=LOAD, table=table, rows=rows, nbytes=size,
+                   genesis=True)
 
     @property
     def keys(self) -> frozenset:
@@ -87,6 +94,8 @@ class LogRecord:
                        ops=_encode_ops(self.ops))
         elif self.kind == DDL:
             out["sql"] = self.sql
+            if self.genesis:
+                out["genesis"] = True
         else:
             out.update(table=self.table, rows=list(self.rows))
         return out
@@ -102,7 +111,8 @@ class LogRecord:
             return cls.ws(data["seq"], data["gid"], data["tid"],
                           data["sender"], ops)
         if kind == DDL:
-            return cls.ddl(data["seq"], data["sql"])
+            return cls.ddl(data["seq"], data["sql"],
+                           genesis=data.get("genesis", False))
         return cls.load(data["seq"], data["table"], data["rows"])
 
 

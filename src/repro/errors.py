@@ -77,6 +77,15 @@ class InvalidTransactionState(DatabaseError):
     """Operation issued on a transaction that is not active."""
 
 
+class ReadOnlyViolation(DatabaseError):
+    """A write (or DDL) statement reached a lazy read-only replica.
+
+    The read tier applies the certified writeset stream but never
+    certifies or votes, so it cannot accept updates; the routed driver
+    normally prevents this by sending update transactions to a full
+    replica."""
+
+
 # ---------------------------------------------------------------------------
 # Client driver / middleware connectivity
 # ---------------------------------------------------------------------------

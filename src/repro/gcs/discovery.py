@@ -22,20 +22,32 @@ class DiscoveryService:
     def __init__(self, sim: Simulator, round_trip: float = 0.001):
         self.sim = sim
         self.round_trip = round_trip
-        self._responders: dict[str, Callable[[], bool]] = {}
+        self._responders: dict[str, tuple[Callable[[], bool], str]] = {}
 
-    def register(self, address: str, accepts_load: Optional[Callable[[], bool]] = None) -> None:
+    def register(self, address: str,
+                 accepts_load: Optional[Callable[[], bool]] = None,
+                 role: str = "write") -> None:
         """Announce a middleware replica at ``address``.
 
         ``accepts_load`` lets a replica decline discovery responses when
         overloaded; by default it always responds while registered.
+        ``role`` distinguishes full voting replicas (``"write"``, the
+        default — they serve everything) from lazy read replicas
+        (``"read"``); discovery filters by role so a read replica
+        joining or leaving never changes what a plain write-path
+        ``discover()`` returns.
         """
-        self._responders[address] = accepts_load or (lambda: True)
+        self._responders[address] = (accepts_load or (lambda: True), role)
 
     def unregister(self, address: str) -> None:
         self._responders.pop(address, None)
 
-    def discover(self) -> Generator[object, object, list[str]]:
-        """One multicast round trip; returns willing replica addresses."""
+    def discover(self, role: str = "write") -> Generator[object, object, list[str]]:
+        """One multicast round trip; returns willing replica addresses
+        registered under ``role``."""
         yield self.sim.sleep(self.round_trip)
-        return [addr for addr, willing in self._responders.items() if willing()]
+        return [
+            addr
+            for addr, (willing, addr_role) in self._responders.items()
+            if addr_role == role and willing()
+        ]

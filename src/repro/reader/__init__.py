@@ -1,0 +1,26 @@
+"""The read-scaling tier: lazy read-only replicas.
+
+SI-Rep makes every replica a full voting member, so a read-mostly
+workload pays certification-path costs for transactions that never
+produce a writeset.  This package adds **lazy read replicas** in the
+spirit of non-monotonic snapshot isolation (Ardekani et al.): they
+subscribe to the certified writeset stream (:class:`CertifiedFeed`),
+apply it asynchronously in certification order — no certification, no
+hole throttling, no vote — and serve snapshot reads at an advertised
+apply **watermark** (the certification tid of the last applied
+writeset, which equals the commit csn a fully caught-up full replica
+would report).
+
+Because applies happen strictly in certification order, every snapshot
+a reader serves equals some prefix of the 1-copy-SI commit order: the
+reads embed into the Def. 3 order by construction, just possibly at an
+older csn.  Session guarantees (read-your-writes, monotonic reads) are
+restored client-side by the routed driver, which carries csn tokens
+(:mod:`repro.client.routing`).
+"""
+
+from repro.reader.config import ReaderConfig
+from repro.reader.feed import CertifiedFeed
+from repro.reader.replica import ReadReplica
+
+__all__ = ["CertifiedFeed", "ReadReplica", "ReaderConfig"]

@@ -1,0 +1,350 @@
+"""A lazy read-only replica.
+
+One :class:`ReadReplica` owns a database engine and a network host, but
+is **not** a group member: it never certifies, never votes, never
+throttles on holes.  It consumes the :class:`~repro.reader.feed.CertifiedFeed`
+and applies each certified writeset as a real remote transaction in
+certification order, so its history is a growing prefix of the
+1-copy-SI commit order and every snapshot it serves embeds into the
+Def. 3 order (just possibly at an older csn — the **watermark**, which
+is the certification tid of the last applied writeset and equals the
+csn token full replicas return on commit).
+
+Serving mirrors the middleware session loop, restricted to SELECTs:
+anything else raises :class:`~repro.errors.ReadOnlyViolation`.  A
+session token (``ExecuteReq.min_csn``) delays the snapshot until the
+watermark reaches it (read-your-writes / monotonic reads); a configured
+``staleness_bound`` delays *every* new snapshot — and declines
+discovery — while the reader lags the certified tip by more than that
+many transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from repro.core import protocol
+from repro.core.replica import ReplicaNode
+from repro.durable import log as durable_log
+from repro.errors import ReadOnlyViolation
+from repro.gcs import DiscoveryService
+from repro.net.network import ChannelClosed, Host
+from repro.reader.config import ReaderConfig
+from repro.reader.feed import CertifiedFeed
+from repro.sim import Gate, Simulator, wait_until
+from repro.storage.writeset import WriteSet
+
+
+@dataclass
+class _Session:
+    """Server-side state of one read-only client connection."""
+
+    txn: Any = None
+    gid: Optional[str] = None
+
+
+class ReadReplica:
+    """One lazy replica of the read tier."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        node: ReplicaNode,
+        host: Host,
+        feed: CertifiedFeed,
+        config: Optional[ReaderConfig] = None,
+        discovery: Optional[DiscoveryService] = None,
+        obs=None,
+        from_seq: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.node = node
+        self.db = node.db
+        self.host = host
+        self.feed = feed
+        self.config = config or ReaderConfig()
+        self.discovery = discovery
+        self.obs = obs
+        self.alive = True
+        #: certification tid of the last applied writeset (the advertised csn)
+        self.watermark = 0
+        #: feed seq of the last consumed item
+        self.feed_pos = from_seq
+        #: sim time of the last apply (staleness-seconds gauge)
+        self.last_apply_t = sim.now
+        #: replicated DDL applied (bootstrap + feed), join-donor ordering
+        self.ddl_log: list[str] = []
+        #: (gid, writeset keys) installed at bootstrap — the Def. 3 audit
+        #: synthesizes this reader's history prefix from these
+        self.replayed: list[tuple[str, frozenset]] = []
+        #: False when bootstrap installed row images instead of
+        #: replayable transactions (snapshot join without a durable log)
+        self.audit_complete = True
+        #: gids committed at bootstrap, for the online monitor's
+        #: ``covered`` set when this reader joins mid-run
+        self.covered_gids: set[str] = set()
+        self.apply_gate = Gate(name=f"{name}.apply")
+        self.active_sessions = 0
+        self.applied = 0
+        self.applied_ddl = 0
+        self.stats_readonly_commits = 0
+        self.stats_rejected_writes = 0
+        self._gids = itertools.count(1)
+        self.inbox = feed.subscribe(name, from_seq=from_seq)
+        self._processes = [
+            sim.spawn(self._apply_loop(), name=f"{name}.apply", daemon=True),
+            sim.spawn(self._accept_loop(), name=f"{name}.accept", daemon=True),
+        ]
+        if discovery is not None:
+            discovery.register(
+                host.address, accepts_load=self._accepts_load, role="read"
+            )
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def lag(self) -> int:
+        """Certified transactions this reader still has to apply.
+
+        Clamped at zero: after a cold restart the feed tip starts below
+        a fully bootstrapped watermark (replay is never published).
+        """
+        return max(0, self.feed.tip_tid - self.watermark)
+
+    @property
+    def staleness_s(self) -> float:
+        """Seconds the reader has been behind the certified tip (0 when
+        caught up)."""
+        if self.lag == 0:
+            return 0.0
+        return self.sim.now - self.last_apply_t
+
+    def _accepts_load(self) -> bool:
+        """Decline discovery when dead, at the session cap, or serving
+        snapshots staler than the advertised bound."""
+        if not self.alive:
+            return False
+        cap = self.config.max_sessions
+        if cap is not None and self.active_sessions >= cap:
+            return False
+        bound = self.config.staleness_bound
+        if bound is not None and self.lag > bound:
+            return False
+        return True
+
+    # ------------------------------------------------------------- bootstrap
+
+    def bootstrap_genesis_ddl(self, sql: str) -> None:
+        """Apply bootstrap schema directly (genesis never rides the feed)."""
+        self.db.run_ddl(sql)
+        self.ddl_log.append(sql)
+
+    def bootstrap_rows(self, table: str, rows) -> None:
+        """Apply bootstrap bulk-loaded rows directly."""
+        self.db.bulk_load(table, [dict(row) for row in rows])
+
+    def bootstrap_replay(self, records) -> None:
+        """Durable-log catch-up on join: replay a donor's writeset log.
+
+        The log holds real replayable transactions, so the reader's
+        prefix stays auditable (``replayed`` feeds the Def. 3 audit's
+        prefix synthesis, exactly like a delta-recovered full replica).
+        """
+        for record in records:
+            if record.kind == durable_log.WS:
+                self.db.install_writeset(record.gid, record.ops)
+                self.replayed.append((record.gid, record.keys))
+                self.covered_gids.add(record.gid)
+                self.watermark = record.tid
+            elif record.kind == durable_log.DDL:
+                self.db.run_ddl(record.sql)
+                self.ddl_log.append(record.sql)
+            else:
+                self.db.bulk_load(record.table, [dict(r) for r in record.rows])
+        self.last_apply_t = self.sim.now
+
+    def bootstrap_snapshot(self, ddl, rows: dict, csn: int, pending,
+                           cert_tid: int, committed_gids) -> None:
+        """Snapshot catch-up on join (no durable log): donor row images
+        plus the certified-but-uncommitted pending writesets.
+
+        Row images are not replayable transactions, so this incarnation
+        stays out of the offline audit (``audit_complete=False``); the
+        online monitor covers the pre-join prefix via ``covered_gids``.
+        """
+        for sql in ddl:
+            self.db.run_ddl(sql)
+        self.ddl_log = list(ddl)
+        self.db.load_checkpoint(
+            {table: [dict(r) for r in trows] for table, trows in rows.items()},
+            csn,
+        )
+        for record in pending:
+            self.db.install_writeset(record.gid, record.writeset)
+            self.covered_gids.add(record.gid)
+        self.covered_gids.update(committed_gids)
+        self.watermark = cert_tid
+        self.audit_complete = False
+        self.last_apply_t = self.sim.now
+
+    # ------------------------------------------------------------ apply side
+
+    def _apply_loop(self) -> Generator[Any, Any, None]:
+        """Consume the certified stream in order, one real remote
+        transaction per writeset — sequential, so applies never conflict
+        and the local ww order is exactly the certification order."""
+        while True:
+            item = yield self.inbox.get()
+            if self.config.apply_delay > 0:
+                yield self.sim.sleep(self.config.apply_delay)
+            if item[0] == "ws":
+                _kind, seq, tid, gid, ops, _sender = item
+                txn = self.db.begin(gid=gid, remote=True)
+                yield from self.db.apply_writeset(txn, WriteSet(list(ops)))
+                yield from self.db.commit(txn)
+                self.watermark = tid
+                self.applied += 1
+            else:
+                _kind, seq, sql = item
+                self.db.run_ddl(sql)
+                self.ddl_log.append(sql)
+                self.applied_ddl += 1
+            self.feed_pos = seq
+            self.last_apply_t = self.sim.now
+            self.apply_gate.notify_all()
+
+    # ---------------------------------------------------------- serving side
+
+    def _accept_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            channel_end = yield self.host.accept()
+            self._processes = [p for p in self._processes if p.alive]
+            self._processes.append(
+                self.sim.spawn(
+                    self._session_loop(channel_end),
+                    name=f"{self.name}.session",
+                    daemon=True,
+                )
+            )
+
+    def _session_loop(self, chan) -> Generator[Any, Any, None]:
+        session = _Session()
+        self.active_sessions += 1
+        try:
+            while True:
+                try:
+                    request = yield from chan.recv()
+                except ChannelClosed:
+                    if session.txn is not None and session.txn.active:
+                        self.db.abort(session.txn)
+                    return
+                try:
+                    response = yield from self._dispatch(session, request)
+                except Exception as err:  # noqa: BLE001 - marshal to the client
+                    response = self._error_response(request, err)
+                    if session.txn is not None and session.txn.active:
+                        self.db.abort(session.txn)
+                    session.txn = None
+                chan.send(response)
+        finally:
+            self.active_sessions -= 1
+
+    def _error_response(self, request, err):
+        info = protocol.marshal_error(err)
+        if isinstance(request, protocol.ExecuteReq):
+            return protocol.ExecuteResp(request.seq, ok=False, error=info)
+        if isinstance(request, protocol.CommitReq):
+            return protocol.CommitResp(request.seq, protocol.ABORTED, error=info)
+        return protocol.RollbackResp(request.seq)
+
+    def _dispatch(self, session: _Session, request) -> Generator[Any, Any, Any]:
+        if isinstance(request, protocol.ExecuteReq):
+            result = yield from self._execute(session, request)
+            return result
+        if isinstance(request, protocol.CommitReq):
+            result = yield from self._commit(session, request)
+            return result
+        if isinstance(request, protocol.RollbackReq):
+            if session.txn is not None and session.txn.active:
+                self.db.abort(session.txn)
+            session.txn = None
+            return protocol.RollbackResp(request.seq)
+        raise ValueError(f"read replica cannot serve {request!r}")
+
+    def _execute(
+        self, session: _Session, request: protocol.ExecuteReq
+    ) -> Generator[Any, Any, protocol.ExecuteResp]:
+        verb = request.sql.lstrip().split(None, 1)[0].upper() if request.sql.strip() else ""
+        if verb != "SELECT":
+            self.stats_rejected_writes += 1
+            raise ReadOnlyViolation(
+                f"read replica {self.name} serves SELECT only, got {verb or '<empty>'}"
+            )
+        if session.txn is None or not session.txn.active:
+            # the snapshot is fixed by the first statement: honor the
+            # session token and the staleness bound before taking it
+            if request.min_csn is not None:
+                token = request.min_csn
+                yield from wait_until(
+                    self.apply_gate, lambda: self.watermark >= token
+                )
+            bound = self.config.staleness_bound
+            if bound is not None and self.lag > bound:
+                yield from wait_until(self.apply_gate, lambda: self.lag <= bound)
+            session.gid = f"{self.name}:g{next(self._gids)}"
+            session.txn = self.db.begin(gid=session.gid)
+        result = yield from self.db.execute(session.txn, request.sql, request.params)
+        return protocol.ExecuteResp(
+            request.seq,
+            ok=True,
+            gid=session.gid,
+            rows=result.rows,
+            columns=result.columns,
+            rowcount=result.rowcount,
+            snapshot_csn=session.txn.snapshot_csn,
+        )
+
+    def _commit(
+        self, session: _Session, request: protocol.CommitReq
+    ) -> Generator[Any, Any, protocol.CommitResp]:
+        txn = session.txn
+        session.txn = None
+        if txn is None or not txn.active:
+            return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        snapshot = txn.snapshot_csn
+        yield from self.db.commit(txn)
+        self.stats_readonly_commits += 1
+        # the snapshot csn doubles as the session's monotonic-reads
+        # token: the next read anywhere must not go further back
+        return protocol.CommitResp(
+            request.seq, protocol.COMMITTED, csn=snapshot
+        )
+
+    # ----------------------------------------------------------------- control
+
+    def crash(self) -> None:
+        """Kill the apply and serving processes; the cluster also takes
+        down the host, discovery entry, gauges, and monitor watch."""
+        self.alive = False
+        self.feed.unsubscribe(self.name)
+        for process in self._processes:
+            process.kill()
+
+    def metrics(self) -> dict:
+        return {
+            "watermark": self.watermark,
+            "feed_pos": self.feed_pos,
+            "lag": self.lag,
+            "staleness_s": self.staleness_s,
+            "queue_depth": len(self.inbox),
+            "applied": self.applied,
+            "applied_ddl": self.applied_ddl,
+            "readonly_commits": self.stats_readonly_commits,
+            "rejected_writes": self.stats_rejected_writes,
+            "active_sessions": self.active_sessions,
+            "alive": self.alive,
+        }

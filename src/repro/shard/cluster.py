@@ -26,6 +26,7 @@ from repro.errors import PlacementError, SQLError
 from repro.gcs import DiscoveryService, GcsConfig, GroupBus
 from repro.net import LatencyModel, Network
 from repro.obs import FlightRecorder, Observability, Tracer, sanitize
+from repro.reader import ReaderConfig
 from repro.shard.partition import Partitioner
 from repro.shard.router import ShardRouter
 from repro.si.onecopy import OneCopyReport
@@ -79,6 +80,12 @@ class ShardConfig:
     durable: bool = False
     #: durability knobs shared by all groups (implies ``durable``)
     durability: Optional[DurabilityConfig] = None
+    #: lazy read replicas attached to each group's certified feed
+    #: (named ``G<i>-Rr<j>``), registered under ``role="read"`` on that
+    #: group's discovery service
+    read_replicas_per_group: int = 0
+    #: read-tier knobs shared by every group's readers
+    reader: Optional[ReaderConfig] = None
 
 
 @dataclass
@@ -188,6 +195,8 @@ class ShardedCluster:
                 monitor_interval=cfg.monitor_interval,
                 max_sessions=cfg.max_sessions,
                 replica_prefix=f"G{index}-R",
+                read_replicas=cfg.read_replicas_per_group,
+                reader=cfg.reader,
             )
             self.groups.append(
                 SIRepCluster(

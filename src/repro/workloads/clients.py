@@ -32,6 +32,7 @@ class ClientPool:
         duration: float,
         warmup: float = 0.0,
         seed_stream: str = "clients",
+        driver: Driver = None,
     ):
         self.system = system
         self.sim = system.sim
@@ -40,7 +41,9 @@ class ClientPool:
         self.target_tps = target_tps
         self.duration = duration
         self.stats = Stats(warmup=warmup)
-        self.driver = Driver(system.network, system.discovery)
+        #: a RoutedDriver here sends read-only transactions to the lazy
+        #: read tier; the default plain driver serves them in place
+        self.driver = driver or Driver(system.network, system.discovery)
         self._rng = self.sim.rng(seed_stream)
 
     @property
@@ -72,7 +75,9 @@ class ClientPool:
             started = self.sim.now
             try:
                 for sql, sql_params in template.statements(params):
-                    yield from connection.execute(sql, sql_params)
+                    yield from connection.execute(
+                        sql, sql_params, readonly=template.readonly
+                    )
                 yield from connection.commit()
                 self.stats.record_commit(category, self.sim.now - started, self.sim.now)
             except DatabaseError:

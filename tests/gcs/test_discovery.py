@@ -56,3 +56,49 @@ def test_discovery_costs_a_round_trip():
     addresses, at = sim.run_process(proc())
     assert addresses == ["a"]
     assert at == 0.005
+
+
+def test_roles_are_disjoint_views():
+    """Read replicas register under role="read"; the default (write)
+    discovery never sees them and vice versa."""
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    service.register("R0")
+    service.register("R1", role="write")
+    service.register("Rr0", role="read")
+    assert sorted(discover(sim, service)) == ["R0", "R1"]
+    assert sim.run_process(service.discover(role="read")) == ["Rr0"]
+    assert sim.run_process(service.discover(role="other")) == []
+
+
+def test_reader_churn_leaves_write_view_untouched():
+    """Joining/leaving read replicas must not disturb the voting
+    membership view the driver's failover case analysis relies on."""
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    for name in ("R0", "R1", "R2"):
+        service.register(name)
+    before = sorted(discover(sim, service))
+    for round_ in range(3):
+        service.register(f"Rr{round_}", role="read")
+        assert sorted(discover(sim, service)) == before
+    service.unregister("Rr0")
+    service.unregister("Rr1")
+    assert sorted(discover(sim, service)) == before
+    assert sim.run_process(service.discover(role="read")) == ["Rr2"]
+    # and symmetrically: a crashing voting replica never dents the read view
+    service.unregister("R1")
+    assert sim.run_process(service.discover(role="read")) == ["Rr2"]
+
+
+def test_read_role_honors_accepts_load():
+    sim = Simulator()
+    service = DiscoveryService(sim)
+    lagging = {"Rr0": True}
+    service.register(
+        "Rr0", accepts_load=lambda: not lagging["Rr0"], role="read"
+    )
+    service.register("Rr1", role="read")
+    assert sim.run_process(service.discover(role="read")) == ["Rr1"]
+    lagging["Rr0"] = False
+    assert sorted(sim.run_process(service.discover(role="read"))) == ["Rr0", "Rr1"]

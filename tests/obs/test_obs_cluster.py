@@ -208,6 +208,53 @@ def test_crash_unregisters_gauges_recovery_restores_them():
     cluster.stop()
 
 
+READER_GAUGES = (
+    "reader.watermark",
+    "reader.lag",
+    "reader.staleness_s",
+    "reader.queue_depth",
+    "reader.active_sessions",
+)
+
+
+def test_reader_crash_unregisters_reader_gauges():
+    """Same hygiene as a crashed full replica: a removed or crashed read
+    replica's ``R*.reader.*`` gauges leave the registry so the sampler
+    never probes the corpse; survivors and a later elastic join keep or
+    get fresh ones."""
+    cluster = SIRepCluster(
+        ClusterConfig(
+            n_replicas=3, seed=21, obs=True, sampler_interval=0.1,
+            read_replicas=2,
+        )
+    )
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    cluster.sim.run(until=0.5)
+    registry = cluster.obs.registry
+    for name in ("Rr0", "Rr1"):
+        for metric in READER_GAUGES:
+            assert f"{name}.{metric}" in registry.gauges
+
+    cluster.crash_reader(0)
+    assert not any(key.startswith("Rr0.") for key in registry.gauges)
+    for metric in READER_GAUGES:  # the survivor keeps its gauges
+        assert f"Rr1.{metric}" in registry.gauges
+    cluster.sim.run(until=cluster.sim.now + 0.5)
+    assert not any(key.startswith("Rr0.") for key in cluster.obs.sampler.rows[-1])
+    assert "Rr1.reader.lag" in cluster.obs.sampler.rows[-1]
+
+    # graceful scale-down is held to the same standard
+    cluster.remove_reader(1)
+    assert not any(key.startswith("Rr1.") for key in registry.gauges)
+
+    # an elastic join registers the new incarnation's gauges
+    reader = cluster.add_reader()
+    for metric in READER_GAUGES:
+        assert f"{reader.name}.{metric}" in registry.gauges
+    cluster.stop()
+
+
 def test_monitoring_is_read_only():
     """Same seed, full surface on vs off (registry + sampler + span
     tracer + online monitor): the measured run is event-identical."""

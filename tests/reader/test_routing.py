@@ -1,0 +1,215 @@
+"""Driver-side routing: policies, fallback, admission, reader failover."""
+
+import pytest
+
+from repro.bench.costs import MicroCost
+from repro.client import ReadAdmission, RoutedDriver
+from repro.core import ClusterConfig, SIRepCluster
+from repro.errors import ConnectionLost, DatabaseError
+from repro.reader import ReaderConfig
+from repro.sim import Simulator
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("n_replicas", 3)
+    kwargs.setdefault("seed", 9)
+    cluster = SIRepCluster(ClusterConfig(**kwargs))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": k, "v": k} for k in range(1, 5)])
+    return cluster
+
+
+def read_once(driver, cluster, out=None):
+    def body():
+        conn = yield from driver.connect(cluster.new_client_host())
+        result = yield from conn.execute(
+            "SELECT v FROM kv WHERE k = 1", readonly=True
+        )
+        yield from conn.commit()
+        if out is not None:
+            out.append((conn.read_address, result.rows[0]["v"]))
+        conn.close()
+
+    return body()
+
+
+def test_round_robin_spreads_sessions_over_readers():
+    cluster = make_cluster(read_replicas=3)
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+    served = []
+    for _ in range(6):
+        cluster.sim.run_process(read_once(driver, cluster, served))
+    cluster.sim.run()
+    addresses = [address for address, _ in served]
+    assert sorted(set(addresses)) == ["Rr0", "Rr1", "Rr2"]
+    assert all(count == 2 for count in
+               (addresses.count(a) for a in set(addresses)))
+    assert driver.stats_reads_routed == 6
+
+
+def test_least_loaded_picks_lowest_inflight():
+    cluster = make_cluster(read_replicas=2)
+    driver = RoutedDriver(
+        cluster.network, cluster.discovery, policy="least-loaded"
+    )
+    driver.admission._inflight["Rr0"] = 3
+    assert driver.choose_reader(("Rr0", "Rr1")) == "Rr1"
+    driver.admission._inflight["Rr1"] = 5
+    assert driver.choose_reader(("Rr0", "Rr1")) == "Rr0"
+
+
+def test_unknown_policy_rejected():
+    cluster = make_cluster(read_replicas=1)
+    with pytest.raises(ValueError):
+        RoutedDriver(cluster.network, cluster.discovery, policy="random")
+
+
+def test_fallback_to_full_replica_when_no_readers():
+    cluster = make_cluster(read_replicas=0)
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+    served = []
+    cluster.sim.run_process(read_once(driver, cluster, served))
+    cluster.sim.run()
+    address, value = served[0]
+    assert address.startswith("R") and "r" not in address.lstrip("R")
+    assert value == 1
+    assert driver.stats_reads_fallback == 1
+
+
+def test_fallback_after_all_readers_crash():
+    cluster = make_cluster(read_replicas=2)
+    driver = RoutedDriver(
+        cluster.network, cluster.discovery, discover_ttl=0.0
+    )
+    served = []
+    cluster.sim.run_process(read_once(driver, cluster, served))
+    cluster.crash_reader(0)
+    cluster.crash_reader(1)
+    cluster.sim.run_process(read_once(driver, cluster, served))
+    cluster.sim.run()
+    assert served[0][0] in ("Rr0", "Rr1")
+    assert served[1][0] in ("R0", "R1", "R2")
+
+
+def test_admission_queues_offered_load_instead_of_aborting():
+    """Cap 1 on one reader, four simultaneous read transactions: the
+    excess queues FIFO at the driver and every one of them commits."""
+    cluster = make_cluster(
+        read_replicas=1,
+        cost_model=lambda _index: MicroCost(),
+        reader=ReaderConfig(max_read_inflight=1),
+    )
+    sim = cluster.sim
+    driver = RoutedDriver(
+        cluster.network, cluster.discovery, reader_config=cluster.reader_config
+    )
+    done = []
+    failures = []
+
+    def client(cid):
+        conn = yield from driver.connect(cluster.new_client_host())
+        try:
+            yield from conn.execute("SELECT v FROM kv WHERE k = 1", readonly=True)
+            yield from conn.commit()
+            done.append(cid)
+        except DatabaseError as err:
+            failures.append(err)
+        conn.close()
+
+    for cid in range(4):
+        sim.spawn(client(cid), name=f"c{cid}")
+    sim.run()
+    assert sorted(done) == [0, 1, 2, 3]
+    assert failures == []
+    metrics = driver.admission.metrics()
+    assert metrics["queued"] >= 3  # the overlap really queued
+    assert metrics["inflight"] == {}  # and fully drained
+
+
+def test_admission_unit_fifo_handoff():
+    sim = Simulator(seed=1)
+    admission = ReadAdmission()
+    order = []
+
+    def holder():
+        yield from admission.acquire("X", 1)
+        yield sim.sleep(0.1)
+        order.append("holder")
+        admission.release("X")
+
+    def waiter(tag, delay):
+        yield sim.sleep(delay)
+        yield from admission.acquire("X", 1)
+        order.append(tag)
+        admission.release("X")
+
+    sim.spawn(holder(), name="h")
+    sim.spawn(waiter("first", 0.01), name="w1")
+    sim.spawn(waiter("second", 0.02), name="w2")
+    sim.run()
+    assert order == ["holder", "first", "second"]
+    assert admission.inflight("X") == 0
+    assert admission.metrics()["queued"] == 2
+
+
+def test_reader_crash_mid_transaction_raises_and_recovers():
+    cluster = make_cluster(read_replicas=2)
+    sim = cluster.sim
+    driver = RoutedDriver(
+        cluster.network, cluster.discovery, discover_ttl=0.0
+    )
+    outcome = []
+
+    def scenario():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1", readonly=True)
+        victim = conn.read_address
+        cluster.crash_reader(
+            next(i for i, r in enumerate(cluster.readers) if r.name == victim)
+        )
+        # case 2: the snapshot died with the reader
+        with pytest.raises(ConnectionLost):
+            yield from conn.execute("SELECT v FROM kv WHERE k = 2", readonly=True)
+        assert not conn.in_transaction
+        # the restarted transaction lands on the surviving reader
+        result = yield from conn.execute(
+            "SELECT v FROM kv WHERE k = 2", readonly=True
+        )
+        yield from conn.commit()
+        outcome.append((victim, conn.read_address, result.rows[0]["v"]))
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
+    victim, survivor, value = outcome[0]
+    assert survivor != victim and survivor in ("Rr0", "Rr1")
+    assert value == 2
+    assert driver.admission.metrics()["inflight"] == {}
+
+
+def test_reader_crash_before_first_answer_is_transparent():
+    """Case-1 analog: the target dies between routing and the first
+    response — the driver retries another target without surfacing it."""
+    cluster = make_cluster(read_replicas=2)
+    sim = cluster.sim
+    driver = RoutedDriver(
+        cluster.network, cluster.discovery, discover_ttl=10.0
+    )
+    served = []
+
+    def scenario():
+        # warm the reader cache, then kill the round-robin's next target
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1", readonly=True)
+        yield from conn.commit()
+        cluster.crash_reader(1)  # stale cache still lists Rr1
+        result = yield from conn.execute(
+            "SELECT v FROM kv WHERE k = 3", readonly=True
+        )
+        yield from conn.commit()
+        served.append((conn.read_address, result.rows[0]["v"]))
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
+    assert served == [("Rr0", 3)]

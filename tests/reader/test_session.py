@@ -1,0 +1,139 @@
+"""Session guarantees across the read tier: read-your-writes and
+monotonic reads via csn tokens."""
+
+from repro.client import RoutedDriver
+from repro.core import ClusterConfig, SIRepCluster, protocol
+from repro.reader import ReaderConfig
+
+
+def make_cluster(**kwargs):
+    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=7, **kwargs))
+    cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
+    cluster.bulk_load("kv", [{"k": 1, "v": 0}])
+    return cluster
+
+
+def test_read_your_writes_on_lagging_reader():
+    """The acceptance scenario: the session's own commit is visible via
+    the csn token even though the chosen read replica lags behind it —
+    while a tokenless read taken at the same moment is provably stale."""
+    cluster = make_cluster(
+        read_replicas=1, reader=ReaderConfig(apply_delay=0.05)
+    )
+    sim = cluster.sim
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+    stale_value = []
+    fresh = []
+
+    def tokenless_read(host):
+        # raw channel to the reader, no min_csn: whatever snapshot the
+        # watermark allows right now
+        channel = cluster.network.connect(host, "Rr0")
+        channel.client_end.send(
+            protocol.ExecuteReq(90_001, "SELECT v FROM kv WHERE k = 1", ())
+        )
+        response = yield from channel.client_end.recv()
+        stale_value.append(response.rows[0]["v"])
+        channel.client_end.send(protocol.CommitReq(90_002))
+        yield from channel.client_end.recv()
+        channel.close()
+
+    def scenario():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 42 WHERE k = 1")
+        yield from conn.commit()
+        token = conn.session_csn
+        assert token == conn.last_commit_csn == 1
+        # the reader has not applied yet (apply_delay keeps it behind)
+        assert cluster.readers[0].watermark < token
+        yield from tokenless_read(cluster.new_client_host())
+        result = yield from conn.execute(
+            "SELECT v FROM kv WHERE k = 1", readonly=True
+        )
+        assert conn.read_address == "Rr0"
+        fresh.append(result.rows[0]["v"])
+        yield from conn.commit()
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
+    assert stale_value == [0]  # without the token: the pre-write snapshot
+    assert fresh == [42]  # with it: the session's own write, guaranteed
+
+
+def test_monotonic_reads_across_replica_switch():
+    """Round-robin moves the session between readers; the token carries
+    the last observed snapshot so the next reader may not serve an
+    older one, whichever replica it is."""
+    cluster = make_cluster(
+        read_replicas=2, reader=ReaderConfig(apply_delay=0.01)
+    )
+    sim = cluster.sim
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+    snapshots = []
+    addresses = []
+
+    def scenario():
+        conn = yield from driver.connect(cluster.new_client_host())
+        for i in range(6):
+            yield from conn.execute(
+                "UPDATE kv SET v = ? WHERE k = 1", (i + 1,)
+            )
+            yield from conn.commit()
+            result = yield from conn.execute(
+                "SELECT v FROM kv WHERE k = 1", readonly=True
+            )
+            snapshots.append(conn.snapshot_csn)
+            addresses.append(conn.read_address)
+            assert result.rows[0]["v"] == i + 1  # read-your-writes each round
+            yield from conn.commit()
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
+    assert set(addresses) == {"Rr0", "Rr1"}  # the session really switched
+    assert snapshots == sorted(snapshots)  # never travels back in time
+
+
+def test_token_honored_by_full_replica_fallback():
+    """No readers: the routed read falls back to a full replica, which
+    honors min_csn the same way (waits for its db csn)."""
+    cluster = make_cluster(read_replicas=0, reader=ReaderConfig())
+    sim = cluster.sim
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+
+    def scenario():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 7 WHERE k = 1")
+        yield from conn.commit()
+        result = yield from conn.execute(
+            "SELECT v FROM kv WHERE k = 1", readonly=True
+        )
+        assert result.rows == [{"v": 7}]
+        yield from conn.commit()
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
+    assert driver.stats_reads_fallback == 1
+    assert driver.stats_reads_routed == 0
+
+
+def test_commit_returns_reader_snapshot_as_token():
+    cluster = make_cluster(read_replicas=1)
+    sim = cluster.sim
+    driver = RoutedDriver(cluster.network, cluster.discovery)
+
+    def scenario():
+        conn = yield from driver.connect(cluster.new_client_host())
+        yield from conn.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        yield from conn.commit()
+        yield from conn.execute("SELECT v FROM kv WHERE k = 1", readonly=True)
+        snapshot = conn.snapshot_csn
+        yield from conn.commit()
+        # the read-only commit folded its snapshot into the session token
+        assert conn.session_csn == snapshot == 1
+        conn.close()
+
+    sim.run_process(scenario())
+    sim.run()
