@@ -115,6 +115,9 @@ def run_sirep(
     read_replicas: int = 0,
     reader: Optional["ReaderConfig"] = None,
     n_clients: Optional[int] = None,
+    salvage: bool = False,
+    salvage_defer_depth: int = 16,
+    cpu_servers: int = 1,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
 
@@ -150,6 +153,9 @@ def run_sirep(
             monitor=monitor,
             read_replicas=read_replicas,
             reader=reader,
+            salvage=salvage,
+            salvage_defer_depth=salvage_defer_depth,
+            cpu_servers=cpu_servers,
         )
     )
     workload.install(cluster)

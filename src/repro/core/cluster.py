@@ -44,6 +44,25 @@ class ClusterConfig:
     #: amortise the commit-time fsync-equivalent over runs of entries
     #: committing together at a replica (see GroupCommitLog)
     group_commit: bool = False
+    #: SCAR-style abort salvage: refresh a would-abort writeset's cert
+    #: when every conflicting key was written blindly (never read) and
+    #: its dependent readset is unchanged — first-committer-wins stays in
+    #: force for read-modify-write keys.  Opt-in; all replicas share it.
+    salvage: bool = False
+    #: backpressure bound for salvage's blind-write deferral: while the
+    #: local to-commit queue is at most this deep, blind first-updater
+    #: conflicts defer to certification (where salvage re-homes them);
+    #: past it the replica sheds load the classic way — eager aborts —
+    #: so commit latency stays bounded under overload
+    salvage_defer_depth: int = 16
+    #: group-commit pipelining: a conflicting successor starts applying
+    #: once its predecessor's versions are installed, while the
+    #: predecessor's durability force is still batched in the group log
+    #: (the client ack always waits for the force).  ``None`` follows
+    #: ``salvage``: deferral keeps conflicting entries alive in the
+    #: queue, where chained installs would otherwise pay one full force
+    #: per link.
+    commit_pipeline: Optional[bool] = None
     seed: int = 0
     gcs: GcsConfig = field(default_factory=GcsConfig)
     net_base_latency: float = 0.0002
@@ -148,6 +167,12 @@ class SIRepCluster:
             ),
         )
         self.bus = bus if bus is not None else GroupBus(self.sim, config=cfg.gcs)
+        #: adaptive batch windows: point the bus at this cluster's
+        #: contention estimate unless a sharded deployment wired its own
+        self._signal_prev = (0, 0)
+        self._signal_ema = 0.0
+        if cfg.gcs.adaptive_window and self.bus.contention_signal is None:
+            self.bus.contention_signal = self.contention_signal
         self.discovery = (
             discovery if discovery is not None else DiscoveryService(self.sim)
         )
@@ -259,6 +284,9 @@ class SIRepCluster:
             cpu=cpu if cost_model else None,
             disk=disk,
         )
+        # salvage owns the fate of blind write-write conflicts: let them
+        # reach certification instead of dying at the eager version check
+        db.defer_blind_ww = cfg.salvage
         node = ReplicaNode(name=name, db=db, cpu=cpu, disk=disk)
         member = self.bus.join(name)
         # The network address IS the replica name, so view changes and
@@ -287,10 +315,23 @@ class SIRepCluster:
             cold_start=self._cold_start and recover_from is None,
             on_recovered=self._on_replica_recovered,
             feed=self.feed,
+            salvage=cfg.salvage,
         )
         replica.trace = self.trace
         replica.tracer = self.tracer
         replica.manager.tracer = self.tracer
+        replica.manager.commit_pipeline = (
+            cfg.commit_pipeline
+            if cfg.commit_pipeline is not None
+            else cfg.salvage
+        )
+        if cfg.salvage:
+            # deferral stays open only while the to-commit queue is
+            # shallow; past the cap the engine's eager aborts shed load
+            db.defer_gate = (
+                lambda queue=replica.manager.queue,
+                cap=cfg.salvage_defer_depth: len(queue) <= cap
+            )
         return node, replica
 
     def _add_replica(self, index: int) -> None:
@@ -469,6 +510,44 @@ class SIRepCluster:
                 f"monitor:{violation.kind}", violation=violation.to_dict()
             )
 
+    def contention_signal(self) -> float:
+        """0..1 contention estimate feeding the adaptive batch window.
+
+        Combines an EMA of the certification abort fraction (delta since
+        the last sample, so the signal tracks the present, not the whole
+        run) with the age of the oldest hole across replicas: either one
+        saturating means the cluster is paying for conflicts and the bus
+        should hold batches open longer for the reorder/salvage machinery.
+        Hole AGE, not count: a couple of in-flight holes is the normal
+        pipeline state at any instant, but a hole outliving several batch
+        windows is a commit stalled behind conflicts.
+        """
+        certifier = next(
+            (r.certifier for r in self.replicas if r.alive), None
+        )
+        if certifier is None:
+            return self._signal_ema
+        decisions, rejects = certifier.decisions, certifier.rejected
+        prev_decisions, prev_rejects = self._signal_prev
+        # recovery can swap in a certifier with reset counters: clamp
+        delta_d = max(0, decisions - prev_decisions)
+        delta_r = max(0, rejects - prev_rejects)
+        self._signal_prev = (decisions, rejects)
+        if delta_d:
+            fraction = delta_r / delta_d
+            self._signal_ema = 0.5 * self._signal_ema + 0.5 * fraction
+        oldest = max(
+            (
+                r.manager.holes.oldest_hole_age(self.sim.now)
+                for r in self.replicas
+                if r.alive
+            ),
+            default=0.0,
+        )
+        # saturate when a hole has outlived ~8 base batch windows
+        horizon = 8.0 * max(self.config.gcs.batch_window, 1e-6)
+        return max(self._signal_ema, min(1.0, oldest / horizon))
+
     def _bus_label(self) -> str:
         """Gauge-name prefix for this cluster's GCS bus: ``gcs`` for a
         standalone deployment, ``G<k>.gcs`` for a sharded group (derived
@@ -483,6 +562,9 @@ class SIRepCluster:
         registry.gauge(f"{label}.buffer_occupancy", lambda: len(bus._batch_buffer))
         registry.gauge(f"{label}.mean_batch_size", lambda: bus.mean_batch_size)
         registry.gauge(f"{label}.delivered_entries", lambda: bus.delivered_count)
+        registry.gauge(f"{label}.reordered_entries", lambda: bus.reordered_entries)
+        registry.gauge(f"{label}.reordered_batches", lambda: bus.reordered_batches)
+        registry.gauge(f"{label}.batch_window", lambda: bus.current_window)
         if self.stability is not None:
             tracker = self.stability
             registry.gauge(f"{label}.stable_watermark", tracker.stable_seq)
@@ -850,6 +932,8 @@ class SIRepCluster:
                 "update_commits": replica.stats_commits,
                 "readonly_commits": replica.stats_readonly_commits,
                 "certification_aborts": replica.stats_aborts,
+                "salvaged": replica.certifier.salvaged,
+                "salvage_rejects": replica.certifier.salvage_rejects,
                 "tocommit_queue_len": len(manager.queue),
                 "tocommit_appended": manager.queue.appended_total,
                 "tocommit_batches": manager.queue.appended_batches,
@@ -892,6 +976,20 @@ class SIRepCluster:
             "gcs_deliveries": self.bus.delivered_count,
             "gcs_batches": self.bus.delivered_batches,
             "gcs_mean_batch_size": self.bus.mean_batch_size,
+            # contention-engine counters: certification is deterministic
+            # and identical everywhere, so the cluster-level salvage
+            # totals are the max over replicas, not the sum
+            "reordered_total": self.bus.reordered_entries,
+            "salvaged_total": max(
+                (r.certifier.salvaged for r in self.replicas), default=0
+            ),
+            "salvage_rejects": max(
+                (r.certifier.salvage_rejects for r in self.replicas), default=0
+            ),
+            # per-replica engine counter (blind stages that skipped the
+            # eager first-updater check): a sum, unlike the cert totals
+            "deferred_ww_total": sum(r.db.deferred_ww for r in self.replicas),
+            "batch_window": self.bus.current_window,
             "replicas": per_replica,
         }
         if self.readers:

@@ -19,6 +19,10 @@ from repro import errors
 
 COMMITTED = "committed"
 ABORTED = "aborted"
+#: internal delivery-loop outcome: the writeset committed via cert
+#: refresh (salvage) and the home replica re-applies it remote-style;
+#: clients still see COMMITTED
+SALVAGED = "salvaged"
 
 
 @dataclass(frozen=True)

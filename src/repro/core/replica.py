@@ -68,6 +68,13 @@ class ReplicaManager:
         self.last_committed_tid = 0
         #: optional hook fired after each entry commits at this replica
         self.on_commit = None
+        #: group-commit pipelining: let a conflicting successor start
+        #: applying once its predecessor's versions are INSTALLED, while
+        #: the predecessor's durability force is still batched in the
+        #: group log.  The client ack (``entry.done``) always waits for
+        #: the force; recovery replays the writeset log, which was
+        #: appended at certification, so durability is unaffected.
+        self.commit_pipeline = False
         #: optional repro.obs Tracer (set by the cluster with the
         #: middleware's); spans are pure bookkeeping — no yields, no RNG
         self.tracer = None
@@ -143,7 +150,10 @@ class ReplicaManager:
             return False
         if self.strict_serial:
             return self.queue.head() is entry and self._running == 0
-        if self.queue.conflicting_predecessor(entry) is not None:
+        blocking = self.queue.blocking_predecessor(
+            entry, installed_ok=self.commit_pipeline
+        )
+        if blocking is not None:
             return False
         return self._commit_allowed(entry)
 
@@ -186,13 +196,11 @@ class ReplicaManager:
             )
         try:
             if entry.is_local:
-                yield from self._commit_txn(entry.local_txn)
+                yield from self._commit_txn(entry.local_txn, entry)
             else:
                 yield from self._apply_remote(entry)
         finally:
             self._running -= 1
-        if self.hole_sync:
-            self.holes.mark_committed(entry.tid)
         self.queue.remove(entry)
         self.committed_entries += 1
         self.last_committed_tid = entry.tid
@@ -205,23 +213,47 @@ class ReplicaManager:
             self.on_commit(entry)
         self.gate.notify_all()
 
-    def _commit_txn(self, txn) -> Generator[Any, Any, None]:
+    def _commit_txn(self, txn, entry: Optional[Entry] = None) -> Generator[Any, Any, None]:
         """Commit through the group-commit log when one is configured:
         one fsync-equivalent charge covers the run of entries flushing
-        together; the install itself stays per-transaction."""
+        together; the install itself stays per-transaction.
+
+        With ``commit_pipeline`` the install happens BEFORE the force:
+        the entry is marked ``installed`` so conflicting successors can
+        start applying against its versions while the force is batched.
+        """
         if self.group_log is None:
             yield from self.db.commit(txn)
+            self._mark_installed(entry)
+        elif self.commit_pipeline:
+            yield from self.db.commit(txn, charge=False)
+            self._mark_installed(entry)
+            yield from self.group_log.sync(len(txn.writes))
         else:
             yield from self.group_log.sync(len(txn.writes))
             yield from self.db.commit(txn, charge=False)
+            self._mark_installed(entry)
+
+    def _mark_installed(self, entry: Optional[Entry]) -> None:
+        """Versions are visible from here on: close the entry's hole (the
+        tracker guards SNAPSHOT gaps, which installs create and close —
+        durability is the writeset log's job) and wake the committer."""
+        if entry is None:
+            return
+        entry.installed = True
+        if self.hole_sync:
+            self.holes.mark_committed(entry.tid)
+        self.gate.notify_all()  # hole waiters + conflicting successors
 
     def _apply_remote(self, entry: Entry) -> Generator[Any, Any, None]:
         """Apply a remote writeset, retrying on DB-level aborts (§4.2)."""
         while True:
             txn = self.db.begin(gid=entry.gid, remote=True)
             try:
-                yield from self.db.apply_writeset(txn, entry.writeset)
-                yield from self._commit_txn(txn)
+                yield from self.db.apply_writeset(
+                    txn, entry.writeset, charge=not entry.rehomed
+                )
+                yield from self._commit_txn(txn, entry)
                 return
             except (SerializationFailure, DeadlockDetected):
                 self.remote_apply_retries += 1

@@ -29,6 +29,8 @@ from repro.net.network import ChannelClosed, Host
 from repro.obs import Observability, TraceContext
 from repro.sim import Gate, Simulator, wait_until
 from repro.sim.sync import OneShot
+from repro.storage.writeset import DELETE as DELETE_OP
+from repro.storage.writeset import UPDATE as UPDATE_OP
 
 
 @dataclass
@@ -65,6 +67,7 @@ class MiddlewareReplica:
         cold_start: bool = False,
         on_recovered=None,
         feed=None,
+        salvage: bool = False,
     ):
         self.sim = sim
         self.name = name
@@ -79,7 +82,10 @@ class MiddlewareReplica:
         self.recovered = False
         #: replicated DDL this replica has applied, for recovery transfer
         self.ddl_log: list[str] = list(base_ddl)
-        self.certifier = Certifier()
+        #: opt-in SCAR-style abort salvage (cert refresh on blind-write
+        #: conflicts); every replica of a deployment must agree on this
+        self.salvage = salvage
+        self.certifier = Certifier(salvage=salvage)
         self.manager = ReplicaManager(
             sim, node, strict_serial=False, hole_sync=hole_sync,
             group_commit=group_commit,
@@ -316,9 +322,10 @@ class MiddlewareReplica:
             self.db.run_ddl(sql)
         self.ddl_log = list(checkpoint.ddl)
         self.db.load_checkpoint(checkpoint.rows, checkpoint.csn)
-        certifier = Certifier()
+        certifier = Certifier(salvage=self.salvage)
         certifier.last_validated_tid = checkpoint.cert_tid
         certifier._last_writer = dict(checkpoint.cert_last_writer)
+        certifier._deleted = set(checkpoint.cert_deleted)
         certifier.validated = checkpoint.cert_tid
         self.certifier = certifier
         self.outcomes.update(checkpoint.outcomes)
@@ -361,6 +368,13 @@ class MiddlewareReplica:
             self.certifier.last_validated_tid = record.tid
             for key in record.keys:
                 self.certifier._last_writer[key] = record.tid
+            # tombstones transition exactly as live certification did, so
+            # post-replay salvage decisions match the survivors'
+            for op in record.ops:
+                if op.op == DELETE_OP:
+                    self.certifier._deleted.add(op.key)
+                else:
+                    self.certifier._deleted.discard(op.key)
             self.certifier.validated += 1
             self.feed_seq += 1
         if record.seq not in skip_install:
@@ -766,7 +780,13 @@ class MiddlewareReplica:
         """
         _kind, gid, writeset, cert, sender = payload[:5]
         ctx: Optional[TraceContext] = payload[5] if len(payload) > 5 else None
-        record = WsRecord(gid, writeset, cert=cert, sender=sender)
+        readset = payload[6] if len(payload) > 6 else frozenset()
+        blind = payload[7] if len(payload) > 7 else frozenset()
+        rehome = payload[8] if len(payload) > 8 else False
+        record = WsRecord(
+            gid, writeset, cert=cert, sender=sender,
+            readset=readset, blind=blind,
+        )
         ok = self.certifier.validate(record)
         if ok and self.wslog is not None:
             # one log record per certified writeset, in validation order;
@@ -791,12 +811,15 @@ class MiddlewareReplica:
             gid, sender, ctx, ok, sent_at, sequenced_at
         )
         self._count("validation.pass" if ok else "validation.abort")
+        if ok and record.salvaged:
+            self._count("validation.salvaged")
         self._emit(
             "validation",
             gid=gid,
             sender=sender,
             outcome=protocol.COMMITTED if ok else protocol.ABORTED,
             tid=record.tid,
+            salvaged=record.salvaged,
         )
         if len(self.outcomes) >= self.outcomes_cap:
             # evict the oldest recorded outcome (dict preserves insertion
@@ -814,6 +837,23 @@ class MiddlewareReplica:
             # remote: simply discard (Fig. 4 II.2)
             return None, None
         local_txn = local[0] if local is not None else None
+        if (record.salvaged or rehome) and local_txn is not None:
+            # Salvage shifted the snapshot past a conflicting predecessor
+            # this local transaction began *before* — or local validation
+            # deferred a blind overlap whose predecessor the certifier
+            # cannot see (tid at or below our certificate); committing the
+            # original txn handle would record b_T < c_pred < c_T with
+            # overlapping writesets — an SI-ww anomaly — at this replica.
+            # Re-home the commit as a remote-style apply instead: the
+            # queue serialises it behind the predecessor, so the applying
+            # txn begins only after the predecessor's commit.
+            self.db.abort(local_txn)
+            local_txn = None
+            entry = Entry(
+                record, local_txn=None, rehomed=True,
+                ctx=entry_ctx, trace_span=deliver_span,
+            )
+            return entry, local[1]
         entry = Entry(record, local_txn=local_txn, ctx=entry_ctx, trace_span=deliver_span)
         return entry, (local[1] if local is not None else None)
 
@@ -893,7 +933,10 @@ class MiddlewareReplica:
             return
         self.manager.enqueue(entry)
         if waiter is not None:
-            waiter.resolve((protocol.COMMITTED, entry))
+            outcome = (
+                protocol.SALVAGED if entry.record.salvaged else protocol.COMMITTED
+            )
+            waiter.resolve((outcome, entry))
 
     def _on_batch(self, batch: Batch) -> None:
         """Validate a delivered batch as an ordered unit and enqueue the
@@ -919,7 +962,10 @@ class MiddlewareReplica:
                 pending.append((waiter, entry))
         self.manager.enqueue_batch(entries)
         for waiter, entry in pending:
-            waiter.resolve((protocol.COMMITTED, entry))
+            outcome = (
+                protocol.SALVAGED if entry.record.salvaged else protocol.COMMITTED
+            )
+            waiter.resolve((outcome, entry))
         if self.trace is not None:
             self.trace.record_batch(
                 batch.seq,
@@ -1106,6 +1152,37 @@ class MiddlewareReplica:
         self.member.multicast(("ddl", ddl_id, self.name, sql))
         yield waiter.wait()
 
+    def _overlap_is_blind(self, writeset, blind: frozenset) -> bool:
+        """True iff every key this writeset shares with a queued entry
+        was written blindly — the only overlaps salvage may commute."""
+        for entry in self.manager.queue:
+            if entry.writeset.conflicts_with(writeset):
+                if not (entry.writeset.keys & writeset.keys) <= blind:
+                    return False
+        return True
+
+    def _abort_local_validation(
+        self, txn, request: protocol.CommitReq, root_span
+    ) -> Generator[Any, Any, protocol.CommitResp]:
+        yield from ()
+        self.db.abort(txn)
+        self.stats_aborts += 1
+        self.outcomes[txn.gid] = protocol.ABORTED
+        self._trace_discard(txn.gid)
+        self._count("validation.local_abort")
+        if root_span is not None:
+            self.tracer.record(
+                "local_validation", txn.gid, start=self.sim.now,
+                parent=root_span.span_id, replica=self.name,
+                status="aborted", outcome="aborted",
+            )
+            self.tracer.finish(root_span, status="aborted")
+        return protocol.CommitResp(
+            request.seq,
+            protocol.ABORTED,
+            error=("CertificationAborted", "local validation failed"),
+        )
+
     def _commit(
         self, session: _Session, request: protocol.CommitReq
     ) -> Generator[Any, Any, protocol.CommitResp]:
@@ -1136,27 +1213,53 @@ class MiddlewareReplica:
             if root_span is not None:
                 self.tracer.finish(root_span, readonly=True)
             return protocol.CommitResp(request.seq, protocol.COMMITTED)
+        # Blind-write classification for certification salvage: a key is
+        # blind iff it was UPDATEd without its value (or any other row
+        # value) feeding the after image.  INSERTs are never blind (they
+        # cannot be replayed over a predecessor's surviving row) and a
+        # DELETE's target lookup already made it a dependent read.
+        dependent = frozenset(txn.dependent_reads)
+        blind = frozenset(
+            op.key
+            for op in writeset.ops
+            if op.op == UPDATE_OP and op.key not in dependent
+        )
         # Fig. 4 I.2.d: local validation against the local to-commit queue
         # (adjustment 1), atomically with the certificate read and the
-        # multicast (no yields = wsmutex).
+        # multicast (no yields = wsmutex).  With salvage on, an overlap
+        # confined to blind keys is deferred to global certification —
+        # but the queued predecessor (and any writer that already applied
+        # during our lifetime, invisible to the certifier because its tid
+        # sits at or below our certificate) makes an in-place commit of
+        # the local handle an SI-ww anomaly.  Such commits are flagged
+        # ``rehome``: on a validation pass the home replica aborts the
+        # local handle and applies the writeset remote-style, so the
+        # recorded begin lands after every predecessor's commit.
+        rehome = False
         if self.manager.queue.overlaps(writeset):
-            self.db.abort(txn)
-            self.stats_aborts += 1
-            self.outcomes[txn.gid] = protocol.ABORTED
-            self._trace_discard(txn.gid)
-            self._count("validation.local_abort")
-            if root_span is not None:
-                self.tracer.record(
-                    "local_validation", txn.gid, start=self.sim.now,
-                    parent=root_span.span_id, replica=self.name,
-                    status="aborted", outcome="aborted",
-                )
-                self.tracer.finish(root_span, status="aborted")
-            return protocol.CommitResp(
-                request.seq,
-                protocol.ABORTED,
-                error=("CertificationAborted", "local validation failed"),
+            defer_open = (
+                self.db.defer_gate is None or self.db.defer_gate()
             )
+            if (
+                self.salvage
+                and defer_open
+                and self._overlap_is_blind(writeset, blind)
+            ):
+                self._count("validation.local_deferred")
+                rehome = True
+            else:
+                return (yield from self._abort_local_validation(
+                    txn, request, root_span
+                ))
+        if not rehome and blind and self.db.defer_blind_ww:
+            # commit-time re-check for the eager check the engine skipped:
+            # a concurrent writer that committed before our multicast is
+            # certifier-invisible, so catch it here
+            for key in blind:
+                if self.db.committed_after_snapshot(key, txn.snapshot_csn):
+                    self._count("validation.local_deferred")
+                    rehome = True
+                    break
         cert = self.certifier.last_validated_tid
         waiter = OneShot()
         self._local_pending[txn.gid] = (txn, waiter)
@@ -1174,7 +1277,9 @@ class MiddlewareReplica:
                 txn.gid, gcs_span.span_id, root_id=root_span.span_id
             )
         self.member.multicast(
-            ("ws", txn.gid, writeset, cert, self.name, ctx), batchable=True
+            ("ws", txn.gid, writeset, cert, self.name, ctx, dependent, blind,
+             rehome),
+            batchable=True,
         )
         if self.trace is not None:
             self.trace.record(txn.gid, "multicast", self.sim.now)
@@ -1190,6 +1295,11 @@ class MiddlewareReplica:
                 protocol.ABORTED,
                 error=("CertificationAborted", "global validation failed"),
             )
+        if outcome == protocol.SALVAGED:
+            # certified via cert refresh: the delivery loop already
+            # aborted our local txn handle and re-homed the entry as a
+            # remote-style apply; from here the wait is identical
+            self._count("validation.salvage_commits")
         if self.trace is not None:
             self.trace.record(txn.gid, "certified", self.sim.now)
         yield entry.done.wait()

@@ -24,6 +24,13 @@ class Entry:
     record: WsRecord
     local_txn: object = None  # engine Transaction when local, else None
     started: bool = False
+    #: versions installed at this replica (commit pipelining: set before
+    #: the group-commit durability force, which ``done`` still awaits)
+    installed: bool = False
+    #: a salvaged/deferred HOME commit applied remote-style: the local
+    #: execution already paid the statement work, so the apply skips the
+    #: writeset-apply CPU charge (re-stamp, not re-execute)
+    rehomed: bool = False
     done: Event = field(default_factory=Event)
     #: trace coordinates for the manager's queue/commit/apply spans
     #: (None when tracing is off or the entry came via state transfer)
@@ -95,6 +102,25 @@ class ToCommitQueue:
                 return other
         raise ValueError(f"{entry!r} not in queue")
 
+    def blocking_predecessor(
+        self, entry: Entry, installed_ok: bool = False
+    ) -> Optional[Entry]:
+        """The earliest queued entry before ``entry`` that still blocks it.
+
+        Plain adjustment 2: any overlapping predecessor blocks.  With
+        ``installed_ok`` (group-commit pipelining) an overlapping
+        predecessor whose versions are already installed no longer
+        blocks — only its durability force is outstanding, and the
+        successor's own force is ordered behind it by the group log.
+        """
+        for other in self.entries:
+            if other is entry:
+                return None
+            if other.writeset.conflicts_with(entry.writeset):
+                if not (installed_ok and other.installed):
+                    return other
+        raise ValueError(f"{entry!r} not in queue")
+
     def head(self) -> Optional[Entry]:
         return self.entries[0] if self.entries else None
 
@@ -118,9 +144,12 @@ class GroupCommitLog:
     which pays ``cost_model.commit`` ONCE for the whole run.  Everything
     else stays per-entry — CSNs, hole tracking, done events — so the
     ordering contract is untouched; only the cost accounting is shared.
-    Entries syncing concurrently are non-conflicting by construction:
-    the committer only dispatches entries with no conflicting queued
-    predecessor (adjustment 2).
+    Without commit pipelining, entries syncing concurrently are
+    non-conflicting by construction (the committer only dispatches
+    entries with no conflicting queued predecessor, adjustment 2); with
+    it, a successor's sync may coalesce into the same flush as its
+    already-installed predecessor's — the install order was enforced
+    before either sync started, so version order is unaffected.
     """
 
     def __init__(self, sim: Simulator, db, name: str = "group-commit"):

@@ -13,21 +13,33 @@ identical to scanning ``ws_list`` but O(|WS|) per validation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional
 
-from repro.storage.writeset import WriteSet
+from repro.storage.writeset import DELETE, WriteSet
 
 
 @dataclass
 class WsRecord:
-    """A writeset travelling through certification."""
+    """A writeset travelling through certification.
+
+    ``readset`` carries the (table, pk) keys whose *values* the
+    transaction's writes depend on (read-modify-write); ``blind`` the
+    written keys whose after images were computed without reading the
+    row.  Both are empty unless the sender threads them through, which
+    keeps salvage a strict opt-in: with an empty ``blind`` set every
+    conflict aborts, exactly as before.
+    """
 
     gid: str
     writeset: WriteSet
     cert: int
     sender: str = ""
     tid: Optional[int] = None
+    readset: FrozenSet[tuple[str, Any]] = field(default_factory=frozenset)
+    blind: FrozenSet[tuple[str, Any]] = field(default_factory=frozenset)
+    #: set by the certifier when the record committed via cert refresh
+    salvaged: bool = False
 
     def conflicts_with(self, other: "WsRecord") -> bool:
         return self.writeset.conflicts_with(other.writeset)
@@ -41,12 +53,20 @@ class Certifier:
     decisions (§5.3).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, salvage: bool = False) -> None:
+        #: opt-in SCAR-style cert refresh for blind-write-only conflicts
+        self.salvage = salvage
         self.last_validated_tid = 0
         #: (table, pk) -> tid of the last certified transaction writing it
         self._last_writer: dict[tuple[str, Any], int] = {}
+        #: keys whose last certified write was a DELETE — a blind write
+        #: over a tombstone cannot be replayed as a plain after image, so
+        #: salvage refuses to commute past it
+        self._deleted: set[tuple[str, Any]] = set()
         self.validated = 0
         self.rejected = 0
+        self.salvaged = 0
+        self.salvage_rejects = 0
 
     def conflicts(self, record: WsRecord) -> bool:
         """Would ``record`` fail validation right now? (No state change.)"""
@@ -55,18 +75,54 @@ class Certifier:
             for key in record.writeset.keys
         )
 
+    def _try_salvage(self, record: WsRecord) -> bool:
+        """Refresh ``record.cert`` to now iff the shift is invisible.
+
+        Moving a transaction's logical snapshot forward to
+        ``last_validated_tid`` is sound iff (a) every conflicting key was
+        written *blindly* — first-committer-wins only protects values the
+        loser actually read, so read-modify-write keys still abort — and
+        (b) no key the transaction's writes depend on (its dependent
+        readset) was overwritten in the shift interval, and (c) no
+        conflicting predecessor deleted the row out from under the blind
+        after image.  All inputs are deterministic delivery-order state,
+        so every replica reaches the same salvage decision.
+        """
+        for key in record.writeset.keys:
+            if self._last_writer.get(key, 0) <= record.cert:
+                continue  # not a conflicting key
+            if key not in record.blind or key in record.readset:
+                return False  # read-modify-write: first committer wins
+            if key in self._deleted:
+                return False  # predecessor deleted the row (tombstone)
+        for key in record.readset:
+            if self._last_writer.get(key, 0) > record.cert:
+                return False  # a dependent read went stale over the shift
+        record.cert = self.last_validated_tid
+        record.salvaged = True
+        return True
+
     def validate(self, record: WsRecord) -> bool:
         """Certify ``record``; on success assigns ``record.tid``.
 
         Must be called in writeset delivery (total) order.
         """
         if self.conflicts(record):
-            self.rejected += 1
-            return False
+            if not (self.salvage and self._try_salvage(record)):
+                if self.salvage:
+                    self.salvage_rejects += 1
+                self.rejected += 1
+                return False
+            self.salvaged += 1
         self.last_validated_tid += 1
         record.tid = self.last_validated_tid
         for key in record.writeset.keys:
             self._last_writer[key] = record.tid
+        for op in record.writeset.ops:
+            if op.op == DELETE:
+                self._deleted.add(op.key)
+            else:
+                self._deleted.discard(op.key)
         self.validated += 1
         return True
 
@@ -91,8 +147,11 @@ class Certifier:
 
     def clone(self) -> "Certifier":
         """Snapshot for recovery state transfer: a recovering replica
-        resumes certification from the donor's exact decision state."""
-        other = Certifier()
+        resumes certification from the donor's exact decision state —
+        including the tombstone set and salvage mode, so its future
+        salvage decisions match the donor's."""
+        other = Certifier(salvage=self.salvage)
         other.last_validated_tid = self.last_validated_tid
         other._last_writer = dict(self._last_writer)
+        other._deleted = set(self._deleted)
         return other

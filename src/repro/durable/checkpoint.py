@@ -36,6 +36,10 @@ class Checkpoint:
     #: certified-feed position at capture (replicated records only), so a
     #: restored incarnation keeps publishing at read-tier-aligned seqs
     feed_seq: int = 0
+    #: certifier tombstones ((table, pk) whose last certified write was a
+    #: DELETE) — restored so future salvage decisions stay deterministic
+    #: across the checkpoint boundary
+    cert_deleted: tuple = ()
 
     @classmethod
     def capture(cls, *, seq: int, cert_seq: int, applied_beyond, csn: int,
@@ -58,6 +62,9 @@ class Checkpoint:
             outcomes=dict(outcomes),
             nbytes=nbytes,
             feed_seq=feed_seq,
+            cert_deleted=tuple(
+                sorted(getattr(certifier, "_deleted", ()), key=repr)
+            ),
         )
 
     def to_json(self) -> dict:
@@ -77,6 +84,7 @@ class Checkpoint:
             "outcomes": self.outcomes,
             "nbytes": self.nbytes,
             "feed_seq": self.feed_seq,
+            "cert_deleted": [[table, pk] for table, pk in self.cert_deleted],
         }
 
     @classmethod
@@ -96,6 +104,9 @@ class Checkpoint:
             outcomes=dict(data["outcomes"]),
             nbytes=data["nbytes"],
             feed_seq=data.get("feed_seq", 0),
+            cert_deleted=tuple(
+                (table, pk) for table, pk in data.get("cert_deleted", ())
+            ),
         )
 
 

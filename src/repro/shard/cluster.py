@@ -45,6 +45,8 @@ class ShardConfig:
     hole_sync: bool = True
     #: per-replica group commit within each group (see GroupCommitLog)
     group_commit: bool = False
+    #: SCAR-style abort salvage within each group (see ClusterConfig)
+    salvage: bool = False
     seed: int = 0
     gcs: GcsConfig = field(default_factory=GcsConfig)
     net_base_latency: float = 0.0002
@@ -185,6 +187,7 @@ class ShardedCluster:
                 n_replicas=cfg.replicas_per_group,
                 hole_sync=cfg.hole_sync,
                 group_commit=cfg.group_commit,
+                salvage=cfg.salvage,
                 seed=cfg.seed,
                 gcs=cfg.gcs,
                 cost_model=cfg.cost_model,

@@ -191,8 +191,14 @@ def choose_path(table, alias, where, params) -> tuple:
     return ("scan",)
 
 
-def _candidate_rows(db, txn, table, alias, where, params):
-    """Yield (pk, values) via the best access path for ``where``."""
+def _candidate_rows(db, txn, table, alias, where, params, locating=False):
+    """Yield (pk, values) via the best access path for ``where``.
+
+    ``locating`` (pk path only) marks the reads as target lookups rather
+    than value dependencies — see :meth:`Database.read_row`.  Index and
+    scan paths ignore it: rows they surface were chosen by examining
+    values, so they stay ordinary (dependent) reads.
+    """
     lookups = equality_lookups(where, params, _column_matcher(table, alias))
     pk_column = table.schema.pk_column
     if pk_column in lookups:
@@ -202,7 +208,7 @@ def _candidate_rows(db, txn, table, alias, where, params):
                 continue
             seen.add(pk)
             txn.rows_examined += 1
-            values = db.read_row(txn, table, pk)
+            values = db.read_row(txn, table, pk, locating=locating)
             if values is not None:
                 yield pk, values
         # Rows this txn inserted are reachable via read_row above already.
@@ -226,19 +232,29 @@ def _candidate_rows(db, txn, table, alias, where, params):
     yield from db.scan(txn, table)
 
 
-def _single_table_matches(db, txn, table, alias, where, params):
-    """Materialise matching (pk, values) pairs of one table."""
+def _single_table_matches(db, txn, table, alias, where, params, locating=False):
+    """Materialise matching (pk, values) pairs of one table.
+
+    With ``locating`` set, a residual predicate that examines a non-pk
+    column value demotes that row back to a dependent read: the match
+    decision then hinges on row content, so the write is not blind.
+    """
     matcher = _column_matcher(table, alias)
+    pk_column = table.schema.pk_column
     matches = []
-    for pk, values in _candidate_rows(db, txn, table, alias, where, params):
+    for pk, values in _candidate_rows(
+        db, txn, table, alias, where, params, locating=locating
+    ):
         if where is None:
             matches.append((pk, values))
             continue
 
-        def lookup(col: ast.Column, _values=values) -> Any:
+        def lookup(col: ast.Column, _pk=pk, _values=values) -> Any:
             name = matcher(col)
             if name is None:
                 raise SQLError(f"unknown column {col.display!r}")
+            if locating and name != pk_column:
+                txn.dependent_reads.add((table.name, _pk))
             return _values[name]
 
         if evaluate(where, lookup, params):
@@ -542,12 +558,28 @@ def _insert(db, txn, statement: ast.Insert, params: tuple):
 def _update(db, txn, statement: ast.Update, params: tuple):
     table = db.catalog.table(statement.table)
     pk_column = table.schema.pk_column
-    matches = _single_table_matches(db, txn, table, None, statement.where, params)
+    # A write is *blind* when the after image owes nothing to the row:
+    # every non-pk column assigned (no old values survive into it), the
+    # target reachable without examining values (pk path — checked by
+    # _candidate_rows), and no assignment expression reading the row
+    # (checked per row below).  Blind keys stay out of dependent_reads,
+    # which is what certification salvage keys off.
+    assigned = {column for column, _expr in statement.assignments}
+    covers = assigned >= {
+        name for name in table.schema.column_names if name != pk_column
+    }
+    matches = _single_table_matches(
+        db, txn, table, None, statement.where, params, locating=covers
+    )
     written = 0
     for pk, values in matches:
+        reads_row = False
+
         def lookup(col: ast.Column, _values=values) -> Any:
+            nonlocal reads_row
             if col.name not in _values:
                 raise SQLError(f"unknown column {col.display!r}")
+            reads_row = True
             return _values[col.name]
 
         new_values = dict(values)
@@ -555,7 +587,11 @@ def _update(db, txn, statement: ast.Update, params: tuple):
             if column == pk_column:
                 raise SQLError("updating the primary key is not supported")
             new_values[column] = evaluate(expr, lookup, params)
-        yield from db.stage_update(txn, table, pk, new_values)
+        if reads_row and covers:
+            txn.dependent_reads.add((table.name, pk))
+        yield from db.stage_update(
+            txn, table, pk, new_values, blind=covers and not reads_row
+        )
         written += 1
     return Result(kind="update", rowcount=written, rows_written=written)
 

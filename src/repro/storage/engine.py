@@ -15,7 +15,7 @@ All potentially blocking entry points (``execute``, ``commit``,
 from __future__ import annotations
 
 import itertools
-from typing import Any, Generator, Iterable, Iterator, Optional
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from repro.errors import (
     IntegrityError,
@@ -91,6 +91,7 @@ class Transaction:
         "writes",
         "write_order",
         "readset",
+        "dependent_reads",
         "rows_examined",
         "db",
     )
@@ -105,6 +106,11 @@ class Transaction:
         self.writes: dict[tuple[str, Any], WriteOp] = {}
         self.write_order: list[tuple[str, Any]] = []
         self.readset: set[tuple[str, Any]] = set()
+        #: keys whose *values* fed into this transaction's writes or
+        #: results — ``readset`` minus purely *locating* reads (the row
+        #: lookup an UPDATE does just to find its target).  Certification
+        #: salvage keys off this; the SI audit keeps using ``readset``.
+        self.dependent_reads: set[tuple[str, Any]] = set()
         self.rows_examined = 0
 
     @property
@@ -142,6 +148,17 @@ class Database:
         self.history: list[tuple] = []
         self.commits = 0
         self.aborts = 0
+        #: defer first-updater-wins aborts for *blind* staged updates to
+        #: global certification (set by salvage-enabled deployments: the
+        #: certifier either refreshes the cert — re-homing the commit
+        #: after its predecessor — or aborts, so deferring never commits
+        #: a conflict the eager check would have caught)
+        self.defer_blind_ww = False
+        #: optional backpressure gate for the deferral: when set and
+        #: returning False, blind stages fall back to the eager path
+        #: (lock + first-updater check) so overload sheds via aborts
+        self.defer_gate: Optional[Callable[[], bool]] = None
+        self.deferred_ww = 0
         self._active: set[Transaction] = set()
         self._committed_gids: set[str] = set()
 
@@ -465,7 +482,7 @@ class Database:
         return WriteSet([txn.writes[key] for key in txn.write_order])
 
     def apply_writeset(
-        self, txn: Transaction, writeset: WriteSet
+        self, txn: Transaction, writeset: WriteSet, charge: bool = True
     ) -> Generator[Any, Any, None]:
         """Replay a remote transaction's after images inside ``txn``.
 
@@ -473,23 +490,37 @@ class Database:
         :class:`SerializationFailure`/:class:`DeadlockDetected`; the
         middleware retries with a fresh transaction until it succeeds
         (§4.2 "the middleware has to reapply the writeset").
+
+        ``charge=False`` skips the apply CPU charge — for re-homed HOME
+        commits whose statements this replica already executed.
         """
         self._check_active(txn)
         for op in writeset:
             yield from self._lock_and_check(txn, op.table, op.pk)
             self._stage(txn, op)
-        yield from self._charge(self.cost_model.writeset_apply(len(writeset)))
+        if charge:
+            yield from self._charge(
+                self.cost_model.writeset_apply(len(writeset))
+            )
 
     # -------------------------------------------------- executor entry points
 
     def read_row(
-        self, txn: Transaction, table: Table, pk: Any
+        self, txn: Transaction, table: Table, pk: Any, locating: bool = False
     ) -> Optional[dict[str, Any]]:
-        """Snapshot read of one row (plus read-your-own-writes)."""
+        """Snapshot read of one row (plus read-your-own-writes).
+
+        ``locating`` marks reads done only to *find* a write's target row
+        (UPDATE/DELETE row lookup): they join ``readset`` (the SI audit
+        sees every read) but not ``dependent_reads``, so a blind write
+        doesn't count its own target lookup as a value dependency.
+        """
         key = (table.name, pk)
         if key in txn.writes:
             op = txn.writes[key]
             txn.readset.add(key)
+            if not locating:
+                txn.dependent_reads.add(key)
             return op.values
         chain = table.chain(pk)
         if chain is None:
@@ -497,6 +528,8 @@ class Database:
         values = chain.visible_values(txn.snapshot_csn)
         if values is not None:
             txn.readset.add(key)
+            if not locating:
+                txn.dependent_reads.add(key)
         return values
 
     def scan(
@@ -537,10 +570,11 @@ class Database:
         self._stage(txn, WriteOp(table.name, pk, INSERT, row))
 
     def stage_update(
-        self, txn: Transaction, table: Table, pk: Any, new_values: dict[str, Any]
+        self, txn: Transaction, table: Table, pk: Any,
+        new_values: dict[str, Any], blind: bool = False,
     ) -> Generator[Any, Any, None]:
         row = table.schema.validate_row(new_values)
-        yield from self._lock_and_check(txn, table.name, pk)
+        yield from self._lock_and_check(txn, table.name, pk, blind=blind)
         self._check_foreign_keys(txn, table, row)
         previous = txn.writes.get((table.name, pk))
         op = INSERT if previous is not None and previous.op == INSERT else UPDATE
@@ -598,15 +632,37 @@ class Database:
         chain = table.chain(pk)
         return chain.latest() if chain else None
 
+    def committed_after_snapshot(self, key: tuple, snapshot_csn: int) -> bool:
+        """True iff ``key``'s newest committed version postdates the
+        snapshot.  The middleware's commit-time re-check for blind staged
+        updates that skipped the eager first-updater check under
+        ``defer_blind_ww``: a hit means a concurrent writer committed in
+        our lifetime, so committing the original local handle in place
+        would record an SI-ww anomaly — the commit must re-home."""
+        table_name, pk = key
+        latest = self._latest(self.catalog.table(table_name), pk)
+        return latest is not None and latest.csn > snapshot_csn
+
     def _lock_and_check(
-        self, txn: Transaction, table_name: str, pk: Any
+        self, txn: Transaction, table_name: str, pk: Any, blind: bool = False
     ) -> Generator[Any, Any, None]:
         """Lock the row, then first-updater-wins version check (§4).
 
         In ``deferred`` mode both steps are skipped: conflicts are found
-        at commit.
+        at commit.  With ``defer_blind_ww`` a *blind* staged update skips
+        both too: the write owes the row nothing, so the lock (which
+        would convoy local writers behind a full certification round
+        trip) protects nothing, and the middleware re-checks the version
+        at commit time — any transaction that raced a concurrent writer
+        is then re-homed behind it or aborted by certification, never
+        committed in place.
         """
         if self.conflict_detection == DEFERRED:
+            return
+        if blind and self.defer_blind_ww and (
+            self.defer_gate is None or self.defer_gate()
+        ):
+            self.deferred_ww += 1
             return
         key = (table_name, pk)
         try:
