@@ -5,8 +5,13 @@ writeset handling, parsing, point statements) rather than simulated time.
 """
 
 import itertools
+import json
+import pathlib
 import random
+import time
 
+from repro.core._reference import ReferenceToCommitQueue
+from repro.core.tocommit import Entry, ToCommitQueue
 from repro.core.validation import Certifier, WsRecord
 from repro.sim import Simulator
 from repro.sql.parser import parse, parse_cached
@@ -38,6 +43,80 @@ def test_certifier_validation_throughput(benchmark):
 
     result = benchmark.pedantic(validate_batch, setup=setup, rounds=20)
     assert result > 0
+
+
+RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def _queue_entry(rng, gid):
+    record = WsRecord(gid, _ws(rng.sample(range(4096), 4)), cert=0)
+    record.tid = 0
+    return Entry(record)
+
+
+def _dispatch_cost_us(queue_factory, depth, iters=2000, repeats=5):
+    """Per-transaction queue cost (append + blocking_predecessor +
+    overlaps + remove) with ``depth`` bystander entries resident, in
+    microseconds — best of ``repeats`` to shave timer noise."""
+    rng = random.Random(depth)
+    best = None
+    for _ in range(repeats):
+        queue = queue_factory()
+        for i in range(depth):
+            queue.append(_queue_entry(rng, f"resident-{i}"))
+        probes = [_queue_entry(rng, f"probe-{i}") for i in range(iters)]
+        probe_ws = _ws(rng.sample(range(4096), 4))
+        start = time.perf_counter()
+        for entry in probes:
+            queue.append(entry)
+            queue.blocking_predecessor(entry, installed_ok=True)
+            queue.overlaps(probe_ws)
+            queue.remove(entry)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best / iters * 1e6
+
+
+def test_queue_dispatch_cost_flat_in_depth(benchmark):
+    """The key-indexed to-commit queue's per-transaction dispatch cost
+    must be ~flat in queue depth (the linear-scan form it replaced grows
+    with every resident entry).  Exports results/conflict_index.json."""
+    depths = [1, 32, 256]
+    indexed = {d: _dispatch_cost_us(ToCommitQueue, d) for d in depths}
+    reference = {d: _dispatch_cost_us(ReferenceToCommitQueue, d) for d in depths}
+
+    RESULTS.mkdir(exist_ok=True)
+    report = {
+        "unit": "microseconds per dispatch cycle",
+        "cycle": "append + blocking_predecessor + overlaps + remove",
+        "indexed_us": {str(d): round(indexed[d], 3) for d in depths},
+        "reference_us": {str(d): round(reference[d], 3) for d in depths},
+        "indexed_flatness_256_over_1": round(indexed[256] / indexed[1], 3),
+        "reference_growth_256_over_1": round(reference[256] / reference[1], 3),
+    }
+    (RESULTS / "conflict_index.json").write_text(json.dumps(report, indent=2))
+    benchmark.extra_info.update(report)
+
+    rng = random.Random(99)
+    deep = ToCommitQueue()
+    for i in range(256):
+        deep.append(_queue_entry(rng, f"resident-{i}"))
+    probe_ws = _ws(rng.sample(range(4096), 4))
+    counter = itertools.count()
+
+    def one_dispatch():
+        entry = _queue_entry(rng, f"p{next(counter)}")
+        deep.append(entry)
+        deep.blocking_predecessor(entry, installed_ok=True)
+        deep.overlaps(probe_ws)
+        deep.remove(entry)
+
+    benchmark(one_dispatch)
+    # near-flat: depth 256 costs at most 3x depth 1 (timer noise margin);
+    # the reference scan is far past that by 256
+    assert indexed[256] <= 3 * indexed[1], report
+    assert reference[256] > indexed[256], report
 
 
 def test_writeset_conflict_check(benchmark):

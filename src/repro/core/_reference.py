@@ -1,0 +1,153 @@
+"""Pinned linear-scan oracles for the conflict-index property suites.
+
+These are the pre-index implementations of :class:`ToCommitQueue` and
+:class:`Certifier` (list scan / unbounded last-writer map), kept verbatim
+as executable specifications.  The Hypothesis suite in
+``tests/conformance/test_conflict_index_equivalence.py`` drives the
+production structures and these side by side on random interleavings and
+asserts identical observable behaviour.
+
+They are NOT used on any hot path.  Do not "optimise" them — their whole
+value is staying the naive, obviously-correct formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.storage.writeset import DELETE, WriteSet
+
+
+class ReferenceToCommitQueue:
+    """The list-backed to-commit queue: every query is a front-to-back scan."""
+
+    def __init__(self) -> None:
+        self.entries: list[Any] = []
+        self.appended_total = 0
+        self.appended_batches = 0
+
+    def append(self, entry: Any) -> None:
+        self.entries.append(entry)
+        self.appended_total += 1
+
+    def extend(self, entries: list[Any]) -> None:
+        if not entries:
+            return
+        self.entries.extend(entries)
+        self.appended_total += len(entries)
+        self.appended_batches += 1
+
+    def remove(self, entry: Any) -> None:
+        for i, other in enumerate(self.entries):
+            if other is entry:  # identity, not field equality
+                del self.entries[i]
+                return
+        raise ValueError(f"{entry!r} not in queue")
+
+    def conflicting_predecessor(self, entry: Any) -> Optional[Any]:
+        for other in self.entries:
+            if other is entry:
+                return None
+            if other.writeset.conflicts_with(entry.writeset):
+                return other
+        raise ValueError(f"{entry!r} not in queue")
+
+    def blocking_predecessor(
+        self, entry: Any, installed_ok: bool = False
+    ) -> Optional[Any]:
+        for other in self.entries:
+            if other is entry:
+                return None
+            if other.writeset.conflicts_with(entry.writeset):
+                if not (installed_ok and other.installed):
+                    return other
+        raise ValueError(f"{entry!r} not in queue")
+
+    def head(self) -> Optional[Any]:
+        return self.entries[0] if self.entries else None
+
+    def overlaps(self, writeset: WriteSet) -> bool:
+        return any(e.writeset.conflicts_with(writeset) for e in self.entries)
+
+    def shared_keys(self, writeset: WriteSet) -> list:
+        """Keys ``writeset`` shares with any queued entry (scan form)."""
+        shared = set()
+        for entry in self.entries:
+            shared |= entry.writeset.keys & writeset.keys
+        return sorted(shared, key=repr)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+
+class ReferenceCertifier:
+    """The unbounded certifier: identical decisions, no window GC."""
+
+    def __init__(self, salvage: bool = False) -> None:
+        self.salvage = salvage
+        self.last_validated_tid = 0
+        self._last_writer: dict[tuple[str, Any], int] = {}
+        self._deleted: set[tuple[str, Any]] = set()
+        self.validated = 0
+        self.rejected = 0
+        self.salvaged = 0
+        self.salvage_rejects = 0
+
+    def conflicts(self, record) -> bool:
+        return any(
+            self._last_writer.get(key, 0) > record.cert
+            for key in record.writeset.keys
+        )
+
+    def _try_salvage(self, record) -> bool:
+        for key in record.writeset.keys:
+            if self._last_writer.get(key, 0) <= record.cert:
+                continue
+            if key not in record.blind or key in record.readset:
+                return False
+            if key in self._deleted:
+                return False
+        for key in record.readset:
+            if self._last_writer.get(key, 0) > record.cert:
+                return False
+        record.cert = self.last_validated_tid
+        record.salvaged = True
+        return True
+
+    def validate(self, record) -> bool:
+        if self.conflicts(record):
+            if not (self.salvage and self._try_salvage(record)):
+                if self.salvage:
+                    self.salvage_rejects += 1
+                self.rejected += 1
+                return False
+            self.salvaged += 1
+        self.last_validated_tid += 1
+        record.tid = self.last_validated_tid
+        for key in record.writeset.keys:
+            self._last_writer[key] = record.tid
+        for op in record.writeset.ops:
+            if op.op == DELETE:
+                self._deleted.add(op.key)
+            else:
+                self._deleted.discard(op.key)
+        self.validated += 1
+        return True
+
+    @property
+    def window_size(self) -> int:
+        return len(self._last_writer)
+
+    def clone(self) -> "ReferenceCertifier":
+        other = ReferenceCertifier(salvage=self.salvage)
+        other.last_validated_tid = self.last_validated_tid
+        other._last_writer = dict(self._last_writer)
+        other._deleted = set(self._deleted)
+        other.validated = self.validated
+        other.rejected = self.rejected
+        other.salvaged = self.salvaged
+        other.salvage_rejects = self.salvage_rejects
+        return other

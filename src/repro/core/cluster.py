@@ -593,6 +593,13 @@ class SIRepCluster:
             f"{name}.certifier_window", lambda: replica.certifier.window_size
         )
         registry.gauge(
+            f"{name}.certifier_gc_floor", lambda: replica.certifier.floor
+        )
+        registry.gauge(
+            f"{name}.certifier_gc_collected",
+            lambda: replica.certifier.gc_collected,
+        )
+        registry.gauge(
             f"{name}.group_commit_mean_size",
             lambda: manager.group_log.mean_group_size if manager.group_log else 0.0,
         )
@@ -934,6 +941,10 @@ class SIRepCluster:
                 "certification_aborts": replica.stats_aborts,
                 "salvaged": replica.certifier.salvaged,
                 "salvage_rejects": replica.certifier.salvage_rejects,
+                "certifier_window": replica.certifier.window_size,
+                "certifier_gc_floor": replica.certifier.floor,
+                "certifier_gc_collected": replica.certifier.gc_collected,
+                "certifier_floor_aborts": replica.certifier.floor_aborts,
                 "tocommit_queue_len": len(manager.queue),
                 "tocommit_appended": manager.queue.appended_total,
                 "tocommit_batches": manager.queue.appended_batches,

@@ -78,8 +78,8 @@ class ReplicaManager:
         #: optional repro.obs Tracer (set by the cluster with the
         #: middleware's); spans are pure bookkeeping — no yields, no RNG
         self.tracer = None
-        #: id(entry) -> its open commit_queue span (Entry is unhashable)
-        self._entry_spans: dict[int, object] = {}
+        #: entry -> its open commit_queue span (entries hash by identity)
+        self._entry_spans: dict[Entry, object] = {}
         self._process = sim.spawn(
             self._committer(), name=f"{node.name}.committer", daemon=True
         )
@@ -109,7 +109,7 @@ class ReplicaManager:
         """Open the entry's commit_queue span (validated -> dispatched)."""
         if self.tracer is None or entry.ctx is None:
             return
-        self._entry_spans[id(entry)] = self.tracer.start(
+        self._entry_spans[entry] = self.tracer.start(
             "commit_queue",
             entry.ctx.trace_id,
             parent=entry.ctx.span_id,
@@ -183,7 +183,7 @@ class ReplicaManager:
             yield self.gate.wait()
 
     def _run_entry(self, entry: Entry) -> Generator[Any, Any, None]:
-        queue_span = self._entry_spans.pop(id(entry), None)
+        queue_span = self._entry_spans.pop(entry, None)
         work_span = None
         if queue_span is not None:
             self.tracer.finish(queue_span)

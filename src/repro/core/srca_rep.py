@@ -12,6 +12,7 @@ certify them independently but identically (validation in delivery order).
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
@@ -20,6 +21,7 @@ from repro.core.replica import ReplicaManager, ReplicaNode
 from repro.core.tocommit import Entry
 from repro.core.validation import Certifier, WsRecord
 from repro.durable import log as durable_log
+from repro.durable import watermark as durable_watermark
 from repro.durable.checkpoint import Checkpoint
 from repro.durable.log import LogRecord
 from repro.durable.store import ReplicaDurability
@@ -86,6 +88,46 @@ class MiddlewareReplica:
         #: conflicts); every replica of a deployment must agree on this
         self.salvage = salvage
         self.certifier = Certifier(salvage=salvage)
+        # ----- certifier window GC (see DESIGN.md §4j) -----
+        #: current group membership, tracked from delivered ViewChanges
+        #: (totally ordered, so every replica sees the same sequence)
+        self._group_members: set[str] = set()
+        #: (sender, scount, cert, acked) staged per delivered writeset,
+        #: folded into the floor only at message/batch boundaries (the
+        #: sequencer's conflict-aware reorder shuffles *within* a batch)
+        self._floor_stage: list[tuple[str, int, int, int]] = []
+        #: sender -> delivered (scount, cert) pairs not yet known fully
+        #: sequenced (scount above the sender's acked horizon); typically
+        #: empty or a single in-flight entry
+        self._floor_pending: dict[str, list[tuple[int, int]]] = {}
+        #: sender -> highest acked horizon seen from it: the sender saw
+        #: its own sends up to this scount delivered, so they are
+        #: sequenced before everything it multicasts afterwards
+        self._floor_acked: dict[str, int] = {}
+        #: sender -> max certificate among its delivered writesets at or
+        #: below its acked horizon.  Certificates are monotone per sender
+        #: in send order (read atomically with the multicast), and every
+        #: not-yet-delivered writeset from the sender has scount above
+        #: the horizon, hence a certificate >= this; min() over the
+        #: membership is then a sound lower bound on every in-flight
+        #: certificate
+        self._sender_cert_floor: dict[str, int] = {}
+        #: this replica's own writeset send counter and the contiguous
+        #: prefix of those sends it has seen delivered back (the acked
+        #: horizon stamped on outgoing writesets)
+        self._ws_sends = 0
+        self._ws_acked = 0
+        self._ws_out_of_order: set[int] = set()
+        #: (log seq, tid) of certified writesets, popped against the
+        #: cluster stability watermark to cap the GC floor at the highest
+        #: cluster-durable tid when a writeset log is attached
+        self._tid_by_seq: deque[tuple[int, int]] = deque()
+        self._stable_tid = 0
+        #: run the collect sweep every N deliveries (same delivery
+        #: positions at every replica); sweeps are pure dict work, no
+        #: sim events, so amortisation only bounds the sweep cost
+        self._gc_every = 64
+        self._since_gc = 0
         self.manager = ReplicaManager(
             sim, node, strict_serial=False, hole_sync=hole_sync,
             group_commit=group_commit,
@@ -299,6 +341,125 @@ class MiddlewareReplica:
             self._count("durable.truncated_records", dropped)
         return dropped
 
+    # ---------------------------------------------------- certifier window GC
+
+    def _note_view(self, view: ViewChange) -> None:
+        """Track membership for the certifier GC floor.
+
+        The floor folds only over CURRENT members: a crashed member's
+        unsequenced traffic died with it and its sequenced traffic was
+        delivered before this (totally ordered) view change, so it has no
+        in-flight certificates left; a joiner (or a rejoining fresh
+        incarnation, whose send counter restarts) pins the floor at 0
+        until its post-join writesets fold (conservative — GC pauses,
+        decisions are unaffected).
+        """
+        previous = self._group_members
+        self._group_members = set(view.members)
+        for sender in previous.symmetric_difference(self._group_members):
+            self._floor_pending.pop(sender, None)
+            self._floor_acked.pop(sender, None)
+            self._sender_cert_floor.pop(sender, None)
+
+    def _note_delivered_cert(
+        self, sender: str, cert: int, scount: int, acked: int
+    ) -> None:
+        """Stage a delivered writeset's ORIGINAL certificate (salvage may
+        refresh ``record.cert`` later; the floor argument needs the value
+        the sender actually read before multicasting), plus the sender's
+        send counter and acked horizon.  Also advances our own acked
+        horizon when the delivery is one of ours coming back."""
+        self._floor_stage.append((sender, cert, scount, acked))
+        if sender == self.name:
+            if scount == self._ws_acked + 1:
+                self._ws_acked = scount
+                while (self._ws_acked + 1) in self._ws_out_of_order:
+                    self._ws_acked += 1
+                    self._ws_out_of_order.discard(self._ws_acked)
+            elif scount > self._ws_acked:
+                self._ws_out_of_order.add(scount)
+
+    def _fold_cert_floor(self) -> None:
+        """Fold the finished delivery's staged certificates into the
+        per-sender floor, then run the amortised collect sweep.
+
+        Soundness: a sender reads its certificate atomically with the
+        multicast, so its certificates are monotone in send order
+        (scount).  A writeset's acked horizon names sends the sender saw
+        delivered before multicasting it — those are sequenced (and at
+        this replica, delivered) before it, so every writeset from the
+        sender still in flight has scount above the horizon and hence a
+        certificate >= any delivered certificate at or below it.
+        Folding only certificates under the horizon therefore keeps
+        min() over the membership a lower bound on every certificate any
+        replica will ever be asked to validate — exactly what
+        Certifier.collect needs.  Certificates above the horizon wait in
+        ``_floor_pending`` (bounded by the sender's in-flight traffic).
+        Staging per delivery and folding at message/batch boundaries
+        keeps the in-batch reorder shuffle invisible.
+        """
+        if self._floor_stage:
+            for sender, cert, scount, acked in self._floor_stage:
+                pending = self._floor_pending.setdefault(sender, [])
+                pending.append((scount, cert))
+                if acked > self._floor_acked.get(sender, 0):
+                    self._floor_acked[sender] = acked
+            self._floor_stage.clear()
+            for sender, pending in self._floor_pending.items():
+                horizon = self._floor_acked.get(sender, 0)
+                if not pending or min(s for s, _c in pending) > horizon:
+                    continue
+                floor = self._sender_cert_floor.get(sender, 0)
+                keep = []
+                for scount, cert in pending:
+                    if scount <= horizon:
+                        if cert > floor:
+                            floor = cert
+                    else:
+                        keep.append((scount, cert))
+                keep.sort()
+                self._floor_pending[sender] = keep
+                self._sender_cert_floor[sender] = floor
+        self._since_gc += 1
+        if self._since_gc >= self._gc_every:
+            self._since_gc = 0
+            self._collect_certifier()
+
+    def _cert_floor(self) -> int:
+        """The tid below which no in-flight certificate can sit.
+
+        Durable replicas additionally cap the floor at the highest tid
+        whose log record is cluster-stable (every member has it durable),
+        so the pruned window never outruns what the stability watermark
+        has confirmed — the checkpointed floor then always describes
+        state a rejoiner can rebuild.
+        """
+        if not self._group_members:
+            return 0
+        floor = min(
+            self._sender_cert_floor.get(m, 0) for m in self._group_members
+        )
+        tracker = getattr(self.member.bus, "stability", None)
+        if (
+            self.wslog is not None
+            and tracker is not None
+            and tracker.policy != durable_watermark.NONE
+        ):
+            stable = tracker.stable_seq()
+            while self._tid_by_seq and self._tid_by_seq[0][0] <= stable:
+                _seq, tid = self._tid_by_seq.popleft()
+                self._stable_tid = tid
+            floor = min(floor, self._stable_tid)
+        return floor
+
+    def _collect_certifier(self) -> None:
+        floor = self._cert_floor()
+        if floor <= self.certifier.floor:
+            return
+        swept = self.certifier.collect(floor)
+        if swept:
+            self._count("validation.gc_swept", swept)
+
     def log_genesis_ddl(self, sql: str) -> None:
         """Record bootstrap DDL so the log is replayable from seq 1."""
         if self.wslog is None:
@@ -327,6 +488,10 @@ class MiddlewareReplica:
         certifier._last_writer = dict(checkpoint.cert_last_writer)
         certifier._deleted = set(checkpoint.cert_deleted)
         certifier.validated = checkpoint.cert_tid
+        # the checkpointed window was pruned up to this floor; replayed
+        # records all sit above it (floor <= stable tid <= any logged
+        # suffix), so the restored state stays decision-identical
+        certifier.floor = checkpoint.cert_floor
         self.certifier = certifier
         self.outcomes.update(checkpoint.outcomes)
         self._applied_prefix = checkpoint.seq
@@ -456,6 +621,7 @@ class MiddlewareReplica:
             item = yield self.member.deliver()
             if isinstance(item, ViewChange):
                 self.crashed_seen.update(item.crashed)
+                self._note_view(item)
                 self.view_gate.notify_all()
                 self._emit(
                     "view_change",
@@ -538,6 +704,7 @@ class MiddlewareReplica:
                 continue  # stale transfer from an abandoned handshake
             if isinstance(item, ViewChange):
                 self.crashed_seen.update(item.crashed)
+                self._note_view(item)
                 self.view_gate.notify_all()
                 self._emit(
                     "view_change",
@@ -783,10 +950,14 @@ class MiddlewareReplica:
         readset = payload[6] if len(payload) > 6 else frozenset()
         blind = payload[7] if len(payload) > 7 else frozenset()
         rehome = payload[8] if len(payload) > 8 else False
+        scount = payload[9] if len(payload) > 9 else 0
+        acked = payload[10] if len(payload) > 10 else 0
         record = WsRecord(
             gid, writeset, cert=cert, sender=sender,
             readset=readset, blind=blind,
         )
+        if scount:
+            self._note_delivered_cert(sender, cert, scount, acked)
         ok = self.certifier.validate(record)
         if ok and self.wslog is not None:
             # one log record per certified writeset, in validation order;
@@ -796,6 +967,7 @@ class MiddlewareReplica:
             )
             self.wslog.append(log_record)
             self._seq_of_gid[gid] = log_record.seq
+            self._tid_by_seq.append((log_record.seq, record.tid))
             self._flush_gate.notify_all()
         if ok:
             # fan the certified item out to the read tier; every replica
@@ -929,6 +1101,7 @@ class MiddlewareReplica:
             sent_at=message.sent_at,
             sequenced_at=message.sequenced_at,
         )
+        self._fold_cert_floor()
         if entry is None:
             return
         self.manager.enqueue(entry)
@@ -960,6 +1133,7 @@ class MiddlewareReplica:
             entries.append(entry)
             if waiter is not None:
                 pending.append((waiter, entry))
+        self._fold_cert_floor()
         self.manager.enqueue_batch(entries)
         for waiter, entry in pending:
             outcome = (
@@ -1154,12 +1328,11 @@ class MiddlewareReplica:
 
     def _overlap_is_blind(self, writeset, blind: frozenset) -> bool:
         """True iff every key this writeset shares with a queued entry
-        was written blindly — the only overlaps salvage may commute."""
-        for entry in self.manager.queue:
-            if entry.writeset.conflicts_with(writeset):
-                if not (entry.writeset.keys & writeset.keys) <= blind:
-                    return False
-        return True
+        was written blindly — the only overlaps salvage may commute.
+        One key-index probe per writeset key (no queue scan)."""
+        return all(
+            key in blind for key in self.manager.queue.shared_keys(writeset)
+        )
 
     def _abort_local_validation(
         self, txn, request: protocol.CommitReq, root_span
@@ -1276,9 +1449,10 @@ class MiddlewareReplica:
             ctx = TraceContext(
                 txn.gid, gcs_span.span_id, root_id=root_span.span_id
             )
+        self._ws_sends += 1
         self.member.multicast(
             ("ws", txn.gid, writeset, cert, self.name, ctx, dependent, blind,
-             rehome),
+             rehome, self._ws_sends, self._ws_acked),
             batchable=True,
         )
         if self.trace is not None:

@@ -4,22 +4,38 @@ Entries stay queued from successful validation until their commit at this
 replica, so the queue doubles as the conflict window for adjustment 1's
 local validation ("only validate against transactions still in the
 queue").
+
+The queue is backed by a :class:`repro.conflictindex.KeyIndex` over the
+entries' writeset keys, so the conflict queries (``overlaps``,
+``conflicting_predecessor``, ``blocking_predecessor``, ``shared_keys``)
+cost O(|WS|) instead of O(queue × |WS|), and ``remove`` is O(|WS|)
+dict deletes rather than a list scan.  The linear-scan formulation is
+retained as :class:`repro.core._reference.ReferenceToCommitQueue` and the
+property suite asserts the two agree on random interleavings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Iterator, Optional
 
+from repro.conflictindex import KeyIndex
 from repro.core.validation import WsRecord
 from repro.sim import Event, Simulator
 from repro.sim.sync import OneShot
 from repro.storage.writeset import WriteSet
 
 
-@dataclass
+@dataclass(eq=False)
 class Entry:
-    """One validated transaction awaiting commit at one replica."""
+    """One validated transaction awaiting commit at one replica.
+
+    ``eq=False``: entries are identities, not values.  Two transactions
+    can carry field-identical state (same writeset, both remote, neither
+    started), and queue membership must never confuse them — identity
+    semantics also keep entries hashable, so they can key span maps and
+    the queue's position bookkeeping directly.
+    """
 
     record: WsRecord
     local_txn: object = None  # engine Transaction when local, else None
@@ -37,6 +53,8 @@ class Entry:
     ctx: object = None
     #: the replica-side delivery span to close when this entry commits
     trace_span: object = None
+    #: queue position while enqueued (set by ToCommitQueue, None outside)
+    _qpos: Optional[int] = field(default=None, repr=False)
 
     @property
     def gid(self) -> str:
@@ -67,15 +85,41 @@ class ToCommitQueue:
     of k appended through :meth:`extend` adds k, so queue-depth and
     throughput dashboards built on it stay correct under batching.
     ``appended_batches`` counts the batch ingestions themselves.
+
+    Positions come from a monotone counter and are never reused; the
+    entry map is insertion-ordered, so iteration order is exactly the
+    validation (queue) order the scans used to walk.
     """
 
     def __init__(self) -> None:
-        self.entries: list[Entry] = []
+        #: pos -> Entry, in queue order (dicts preserve insertion order
+        #: across deletions, and positions are issued monotonically)
+        self._by_pos: dict[int, Entry] = {}
+        self._index = KeyIndex()
+        self._next_pos = 0
         self.appended_total = 0
         self.appended_batches = 0
 
+    @property
+    def entries(self) -> list[Entry]:
+        """Snapshot of the queued entries in order (diagnostics/oracle)."""
+        return list(self._by_pos.values())
+
+    def _insert(self, entry: Entry) -> None:
+        pos = self._next_pos
+        self._next_pos += 1
+        entry._qpos = pos
+        self._by_pos[pos] = entry
+        self._index.add(pos, entry.writeset.keys)
+
+    def _pos_of(self, entry: Entry) -> int:
+        pos = entry._qpos
+        if pos is None or self._by_pos.get(pos) is not entry:
+            raise ValueError(f"{entry!r} not in queue")
+        return pos
+
     def append(self, entry: Entry) -> None:
-        self.entries.append(entry)
+        self._insert(entry)
         self.appended_total += 1
 
     def extend(self, entries: list[Entry]) -> None:
@@ -86,21 +130,22 @@ class ToCommitQueue:
         """
         if not entries:
             return
-        self.entries.extend(entries)
+        for entry in entries:
+            self._insert(entry)
         self.appended_total += len(entries)
         self.appended_batches += 1
 
     def remove(self, entry: Entry) -> None:
-        self.entries.remove(entry)
+        pos = self._pos_of(entry)
+        del self._by_pos[pos]
+        self._index.discard(pos, entry.writeset.keys)
+        entry._qpos = None
 
     def conflicting_predecessor(self, entry: Entry) -> Optional[Entry]:
         """The earliest queued entry before ``entry`` overlapping its ws."""
-        for other in self.entries:
-            if other is entry:
-                return None
-            if other.writeset.conflicts_with(entry.writeset):
-                return other
-        raise ValueError(f"{entry!r} not in queue")
+        pos = self._pos_of(entry)
+        best = self._index.earliest(entry.writeset.keys, below=pos)
+        return self._by_pos[best] if best is not None else None
 
     def blocking_predecessor(
         self, entry: Entry, installed_ok: bool = False
@@ -113,26 +158,35 @@ class ToCommitQueue:
         blocks — only its durability force is outstanding, and the
         successor's own force is ordered behind it by the group log.
         """
-        for other in self.entries:
-            if other is entry:
-                return None
-            if other.writeset.conflicts_with(entry.writeset):
-                if not (installed_ok and other.installed):
-                    return other
-        raise ValueError(f"{entry!r} not in queue")
+        pos = self._pos_of(entry)
+        if installed_ok:
+            by_pos = self._by_pos
+            best = self._index.earliest(
+                entry.writeset.keys,
+                below=pos,
+                predicate=lambda p: not by_pos[p].installed,
+            )
+        else:
+            best = self._index.earliest(entry.writeset.keys, below=pos)
+        return self._by_pos[best] if best is not None else None
 
     def head(self) -> Optional[Entry]:
-        return self.entries[0] if self.entries else None
+        return next(iter(self._by_pos.values()), None)
 
     def overlaps(self, writeset: WriteSet) -> bool:
         """Adjustment 1 / Fig. 4 I.2.d: local validation against the queue."""
-        return any(e.writeset.conflicts_with(writeset) for e in self.entries)
+        return self._index.touches(writeset.keys)
+
+    def shared_keys(self, writeset: WriteSet) -> list:
+        """Keys ``writeset`` shares with at least one queued entry — the
+        exact key set salvage's blindness check must clear."""
+        return self._index.shared_keys(writeset.keys)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return len(self._by_pos)
 
-    def __iter__(self):
-        return iter(self.entries)
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(tuple(self._by_pos.values()))
 
 
 class GroupCommitLog:
@@ -150,6 +204,13 @@ class GroupCommitLog:
     it, a successor's sync may coalesce into the same flush as its
     already-installed predecessor's — the install order was enforced
     before either sync started, so version order is unaffected.
+
+    A failed flush (``charge_commit`` raising — a dying disk, a fault
+    injection) must not strand the entries waiting on it: the error is
+    propagated to every waiter covered by the flush *and* every waiter
+    staged behind it, so each committing process surfaces the crash
+    instead of blocking forever.  The log itself stays usable — a later
+    ``sync`` against a healed device starts a fresh flush loop.
     """
 
     def __init__(self, sim: Simulator, db, name: str = "group-commit"):
@@ -160,9 +221,14 @@ class GroupCommitLog:
         self._flushing = False
         self.flushes = 0
         self.synced_entries = 0
+        self.flush_failures = 0
 
     def sync(self, n_writes: int) -> Generator[Any, Any, None]:
-        """Block until a flush covering this commit has been charged."""
+        """Block until a flush covering this commit has been charged.
+
+        Raises whatever the underlying ``charge_commit`` raised if the
+        covering flush fails.
+        """
         waiter = OneShot()
         self._waiters.append((n_writes, waiter))
         if not self._flushing:
@@ -173,6 +239,7 @@ class GroupCommitLog:
         yield waiter.wait()
 
     def _flush_loop(self) -> Generator[Any, Any, None]:
+        group: list[tuple[int, OneShot]] = []
         try:
             while self._waiters:
                 group, self._waiters = self._waiters, []
@@ -181,6 +248,12 @@ class GroupCommitLog:
                 self.synced_entries += len(group)
                 for _n, waiter in group:
                     waiter.resolve(None)
+                group = []
+        except BaseException as err:  # noqa: BLE001 - delivered to waiters
+            stranded, self._waiters = group + self._waiters, []
+            self.flush_failures += 1
+            for _n, waiter in stranded:
+                waiter.fail(err)
         finally:
             self._flushing = False
 

@@ -67,6 +67,18 @@ class Certifier:
         self.rejected = 0
         self.salvaged = 0
         self.salvage_rejects = 0
+        #: window-GC truncation point: every certificate this instance
+        #: will ever be asked to decide is >= floor (the caller proves
+        #: it — see srca_rep's delivered-cert floor), so last-writer
+        #: entries with tid <= floor can never satisfy ``tid > cert``
+        #: again and :meth:`collect` prunes them
+        self.floor = 0
+        self.gc_runs = 0
+        self.gc_collected = 0
+        #: defence in depth: a certificate below the floor reached a
+        #: certifier whose pruned state cannot decide it — deterministic
+        #: conservative abort (never fires when the floor is sound)
+        self.floor_aborts = 0
 
     def conflicts(self, record: WsRecord) -> bool:
         """Would ``record`` fail validation right now? (No state change.)"""
@@ -107,6 +119,15 @@ class Certifier:
 
         Must be called in writeset delivery (total) order.
         """
+        if record.cert < self.floor:
+            # the GC floor guarantees no in-flight certificate sits below
+            # it; if one ever does, conflicts() would consult pruned
+            # state, so abort conservatively.  A sound floor means this
+            # never fires — the counter existing is what lets tests and
+            # dashboards assert that.
+            self.floor_aborts += 1
+            self.rejected += 1
+            return False
         if self.conflicts(record):
             if not (self.salvage and self._try_salvage(record)):
                 if self.salvage:
@@ -142,16 +163,50 @@ class Certifier:
     @property
     def window_size(self) -> int:
         """Tuples tracked in the last-writer map — the certification
-        working set (grows with the distinct keys ever written)."""
+        working set (bounded by the active window once :meth:`collect`
+        runs; grows with the distinct keys ever written otherwise)."""
         return len(self._last_writer)
+
+    def collect(self, floor: int) -> int:
+        """Prune last-writer entries with ``tid <= floor``.
+
+        Sound iff every certificate still to be validated is >= ``floor``
+        (the caller's invariant): a pruned entry then can never satisfy
+        the conflict test ``tid > cert`` again, and its absence reads as
+        tid 0 — the same decision.  Tombstones are pruned in lockstep:
+        salvage only consults ``_deleted`` for *conflicting* keys, whose
+        last writer is by definition above the floor and hence retained.
+        Returns the number of keys swept; the floor is monotone.
+        """
+        if floor <= self.floor:
+            return 0
+        self.floor = floor
+        dead = [key for key, tid in self._last_writer.items() if tid <= floor]
+        for key in dead:
+            del self._last_writer[key]
+            self._deleted.discard(key)
+        self.gc_runs += 1
+        self.gc_collected += len(dead)
+        return len(dead)
 
     def clone(self) -> "Certifier":
         """Snapshot for recovery state transfer: a recovering replica
         resumes certification from the donor's exact decision state —
-        including the tombstone set and salvage mode, so its future
-        salvage decisions match the donor's."""
+        including the tombstone set, salvage mode, the GC floor, and the
+        decision counters, so its future salvage decisions AND its
+        reported certification metrics match the donor's (a joiner that
+        zeroed ``validated``/``rejected`` would diverge from every peer's
+        monitoring surface)."""
         other = Certifier(salvage=self.salvage)
         other.last_validated_tid = self.last_validated_tid
         other._last_writer = dict(self._last_writer)
         other._deleted = set(self._deleted)
+        other.floor = self.floor
+        other.validated = self.validated
+        other.rejected = self.rejected
+        other.salvaged = self.salvaged
+        other.salvage_rejects = self.salvage_rejects
+        other.gc_runs = self.gc_runs
+        other.gc_collected = self.gc_collected
+        other.floor_aborts = self.floor_aborts
         return other

@@ -40,6 +40,11 @@ class Checkpoint:
     #: DELETE) — restored so future salvage decisions stay deterministic
     #: across the checkpoint boundary
     cert_deleted: tuple = ()
+    #: certifier window-GC truncation point at capture:
+    #: ``cert_last_writer`` carries no entries with tid <= this, and a
+    #: restore must carry it so the rebuilt certifier's conservative
+    #: floor guard matches the capturing replica's
+    cert_floor: int = 0
 
     @classmethod
     def capture(cls, *, seq: int, cert_seq: int, applied_beyond, csn: int,
@@ -65,6 +70,7 @@ class Checkpoint:
             cert_deleted=tuple(
                 sorted(getattr(certifier, "_deleted", ()), key=repr)
             ),
+            cert_floor=getattr(certifier, "floor", 0),
         )
 
     def to_json(self) -> dict:
@@ -85,6 +91,7 @@ class Checkpoint:
             "nbytes": self.nbytes,
             "feed_seq": self.feed_seq,
             "cert_deleted": [[table, pk] for table, pk in self.cert_deleted],
+            "cert_floor": self.cert_floor,
         }
 
     @classmethod
@@ -107,6 +114,7 @@ class Checkpoint:
             cert_deleted=tuple(
                 (table, pk) for table, pk in data.get("cert_deleted", ())
             ),
+            cert_floor=data.get("cert_floor", 0),
         )
 
 

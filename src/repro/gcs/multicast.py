@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.conflictindex import conflict_degrees
 from repro.errors import GcsError, NotAMember
 from repro.sim import Queue, Simulator
 
@@ -294,7 +295,7 @@ class GroupBus:
         # bus; if the sender dies first the cluster-level crash handler has
         # already marked it dead and _sequence drops the message.
         self.sim.call_at(
-            self.sim.now + hop,
+            sent_at + hop,
             lambda: self._sequence(sender, payload, batchable, sent_at),
         )
 
@@ -430,14 +431,10 @@ class GroupBus:
         if any(info is None for info in infos):
             return live  # non-writeset traffic in the batch: keep arrival order
         keysets = [info[0] for info in infos]
-        degree = [
-            sum(
-                1
-                for j, other in enumerate(keysets)
-                if j != i and not keys.isdisjoint(other)
-            )
-            for i, keys in enumerate(keysets)
-        ]
+        # one postings pass instead of the pairwise isdisjoint matrix;
+        # identical numbers, so identical layouts (the reorder-equivalence
+        # suite pins this)
+        degree = conflict_degrees(keysets)
         order = sorted(
             range(len(live)),
             key=lambda i: (degree[i], -infos[i][1], i),

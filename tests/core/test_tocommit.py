@@ -1,9 +1,10 @@
-"""To-commit queue unit tests."""
+"""To-commit queue and group-commit log unit tests."""
 
 import pytest
 
-from repro.core.tocommit import Entry, ToCommitQueue
+from repro.core.tocommit import Entry, GroupCommitLog, ToCommitQueue
 from repro.core.validation import WsRecord
+from repro.sim import Simulator
 from repro.storage.writeset import UPDATE, WriteOp, WriteSet
 
 
@@ -83,3 +84,145 @@ def test_entry_properties():
     assert local.tid == 1
     assert local.gid == "a"
     assert not local.done.is_set
+
+
+def test_entry_identity_not_field_equality():
+    """Entries are identities: two field-identical entries must stay
+    distinguishable (the old plain-dataclass equality made ``remove``
+    match whichever compared equal first) and hashable for span maps."""
+    record = WsRecord("same", ws(1), cert=0)
+    record.tid = 7
+    e1, e2 = Entry(record), Entry(record)
+    assert e1 != e2
+    assert len({e1, e2}) == 2  # identity hash, usable as dict keys
+    queue = ToCommitQueue()
+    queue.append(e1)
+    queue.append(e2)
+    queue.remove(e2)  # must remove THIS instance, not the equal-looking e1
+    assert queue.entries == [e1]
+    queue.remove(e1)
+    assert len(queue) == 0
+
+
+def test_remove_requires_membership_and_clears_position():
+    queue = ToCommitQueue()
+    e1 = entry("a", 1, 1)
+    queue.append(e1)
+    queue.remove(e1)
+    with pytest.raises(ValueError):
+        queue.remove(e1)
+    with pytest.raises(ValueError):
+        queue.blocking_predecessor(e1)
+    # a removed entry can be re-queued (new position, fresh bookkeeping)
+    queue.append(e1)
+    assert queue.head() is e1
+    assert queue.conflicting_predecessor(e1) is None
+
+
+def test_remove_middle_keeps_order_and_index():
+    queue = ToCommitQueue()
+    e1, e2, e3 = entry("a", 1, 1), entry("b", 2, 1), entry("c", 3, 1)
+    for e in (e1, e2, e3):
+        queue.append(e)
+    queue.remove(e2)
+    assert [e.gid for e in queue] == ["a", "c"]
+    assert queue.conflicting_predecessor(e3) is e1
+    queue.remove(e1)
+    assert queue.conflicting_predecessor(e3) is None
+    assert queue.overlaps(ws(1))
+    queue.remove(e3)
+    assert not queue.overlaps(ws(1))
+
+
+def test_blocking_predecessor_skips_installed_with_pipelining():
+    queue = ToCommitQueue()
+    e1, e2, e3 = entry("a", 1, 5), entry("b", 2, 5), entry("c", 3, 5)
+    for e in (e1, e2, e3):
+        queue.append(e)
+    assert queue.blocking_predecessor(e3) is e1
+    e1.installed = True
+    assert queue.blocking_predecessor(e3) is e1  # plain adjustment 2
+    assert queue.blocking_predecessor(e3, installed_ok=True) is e2
+    e2.installed = True
+    assert queue.blocking_predecessor(e3, installed_ok=True) is None
+
+
+def test_shared_keys_reports_overlap_key_set():
+    queue = ToCommitQueue()
+    queue.append(entry("a", 1, 1, 2))
+    queue.append(entry("b", 2, 2, 3))
+    assert sorted(queue.shared_keys(ws(2, 3, 9))) == [("t", 2), ("t", 3)]
+    assert queue.shared_keys(ws(9)) == []
+
+
+# ---------------------------------------------------------- group-commit log
+
+
+class _FlakyDb:
+    """charge_commit stub that fails the first ``fail_times`` flushes."""
+
+    def __init__(self, sim, fail_times=0):
+        self.sim = sim
+        self.fail_times = fail_times
+        self.charged = []
+
+    def charge_commit(self, n_writes):
+        yield self.sim.sleep(0.001)  # let concurrent syncs stage
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise IOError("disk died")
+        self.charged.append(n_writes)
+
+
+def test_flush_failure_propagates_to_every_waiter():
+    """A failed force must surface at each committing entry, not strand
+    them on an unresolved OneShot forever."""
+    sim = Simulator(seed=1)
+    db = _FlakyDb(sim, fail_times=1)
+    log = GroupCommitLog(sim, db)
+    results = {}
+
+    def committer(name):
+        try:
+            yield from log.sync(2)
+            results[name] = "ok"
+        except IOError as err:
+            results[name] = str(err)
+
+    sim.spawn(committer("c1"), name="c1")
+    sim.spawn(committer("c2"), name="c2")
+    sim.run()
+    assert results == {"c1": "disk died", "c2": "disk died"}
+    assert log.flush_failures == 1
+    assert log.flushes == 0
+    assert not log._flushing  # the log did not wedge
+
+
+def test_flush_recovers_after_transient_failure():
+    """The group log stays usable: a sync against a healed device starts
+    a fresh flush loop and succeeds."""
+    sim = Simulator(seed=1)
+    db = _FlakyDb(sim, fail_times=1)
+    log = GroupCommitLog(sim, db)
+    results = []
+
+    def first():
+        try:
+            yield from log.sync(1)
+            results.append("first-ok")
+        except IOError:
+            results.append("first-failed")
+
+    def second():
+        yield sim.sleep(0.01)  # after the failed flush settled
+        yield from log.sync(3)
+        results.append("second-ok")
+
+    sim.spawn(first(), name="first")
+    sim.spawn(second(), name="second")
+    sim.run()
+    assert results == ["first-failed", "second-ok"]
+    assert log.flush_failures == 1
+    assert log.flushes == 1
+    assert db.charged == [3]
+    assert log.mean_group_size == 1.0

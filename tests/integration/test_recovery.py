@@ -291,3 +291,60 @@ def test_double_crash_and_recover_cycles():
     assert len(states) == 3
     assert len(set(states.values())) == 1
     assert states["R0"][:3] == ((1, 1), (2, 2), (3, 3))
+
+
+def test_recovered_certifier_stats_match_donor():
+    """Regression: ``Certifier.clone()`` used to drop the decision
+    counters, so a joiner resumed with ``validated == 0`` while its
+    donor reported the full history — the two replicas' certification
+    metrics diverged forever after a recovery.  The clone now carries
+    validated/rejected/salvaged/salvage_rejects (and the GC floor), so
+    after the joiner catches up and both certify the same tail, the
+    stats surfaces must be identical."""
+    cluster, driver = make_cluster(seed=12)
+    sim = cluster.sim
+
+    def writer(key, value, delay, address="R1"):
+        def proc():
+            yield sim.sleep(delay)
+            conn = yield from driver.connect(
+                cluster.new_client_host(), address=address
+            )
+            try:
+                yield from conn.execute(
+                    "UPDATE kv SET v = ? WHERE k = ?", (value, key)
+                )
+                yield from conn.commit()
+            except Exception:
+                pass  # a racing writer losing certification is expected
+        sim.spawn(proc(), name=f"w{key}-{value}")
+
+    # history BEFORE the crash, so the donor's counters are non-zero
+    writer(1, 10, 0.05)
+    writer(2, 20, 0.1)
+    # two racing writers on one key: one of them must be rejected at
+    # certification, giving the cloned ``rejected`` counter something
+    # to disagree about if it were dropped
+    writer(3, 31, 0.3, address="R1")
+    writer(3, 32, 0.3, address="R2")
+    sim.call_at(0.6, lambda: cluster.crash(0))
+    writer(4, 40, 1.0)  # missed by R0, replayed through recovery
+    sim.call_at(1.5, lambda: cluster.recover_replica(0))
+    writer(5, 50, 3.0)  # certified live by donor AND joiner
+    sim.run()
+    settle(cluster, 5.0)
+
+    joiner = cluster.replicas[0]
+    donor = cluster.replicas[1]
+    assert joiner.recovered
+    stats = lambda c: {  # noqa: E731 - local comparison helper
+        attr: getattr(c, attr)
+        for attr in (
+            "last_validated_tid", "validated", "rejected", "salvaged",
+            "salvage_rejects", "floor", "window_size",
+        )
+    }
+    assert stats(joiner.certifier) == stats(donor.certifier)
+    assert joiner.certifier.validated >= 5
+    assert joiner.certifier.rejected >= 1  # the racing writer lost
+    assert len(set(all_states(cluster).values())) == 1

@@ -25,6 +25,8 @@ REPLICA_GAUGES = (
     "oldest_hole_age",
     "active_sessions",
     "certifier_window",
+    "certifier_gc_floor",
+    "certifier_gc_collected",
     "group_commit_mean_size",
 )
 
