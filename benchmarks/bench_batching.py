@@ -206,7 +206,9 @@ def test_batching_throughput(benchmark):
 CONTENTION_CPU_SERVERS = 2
 
 
-def _run_contention_point(knobs_on: bool, duration: float, warmup: float):
+def _run_contention_point(
+    knobs_on: bool, duration: float, warmup: float, profile: bool = False
+):
     gcs = dict(
         batch_max_messages=8,
         batch_window=BATCH_WINDOW,
@@ -237,6 +239,7 @@ def _run_contention_point(knobs_on: bool, duration: float, warmup: float):
         label="after" if knobs_on else "before",
         salvage=knobs_on,
         cpu_servers=CONTENTION_CPU_SERVERS,
+        profile=profile,
     )
 
 
@@ -357,6 +360,80 @@ def test_contention_salvage():
     assert before["salvaged_total"] == 0
     assert before["reordered_total"] == 0
     assert before["deferred_ww_total"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Canonical points for the unified suite runner (repro.bench.suite)
+# ---------------------------------------------------------------------------
+
+CANONICAL_BATCH = 8
+
+
+def canonical_point(quick: bool = True) -> dict:
+    """Batching anchor: the batch=8 point with phase attribution."""
+    duration, warmup = (3.0, 0.75) if quick else (6.0, 1.5)
+    workload = make_mixed_workload(read_weight=READ_WEIGHT)
+    point = run_sirep(
+        workload,
+        OFFERED_TPS,
+        n_replicas=N_REPLICAS,
+        cost_model=BatchMicroCost,
+        with_disk=True,
+        gcs=GcsConfig(
+            batch_max_messages=CANONICAL_BATCH,
+            batch_window=BATCH_WINDOW,
+            bus_service_time=BUS_SERVICE_TIME,
+        ),
+        group_commit=True,
+        duration=duration,
+        warmup=warmup,
+        seed=0,
+        label=f"batch={CANONICAL_BATCH}",
+        obs=True,
+        sampler_interval=SAMPLER_INTERVAL,
+        profile=True,
+    )
+    return {
+        "config": {
+            "batch_max_messages": CANONICAL_BATCH,
+            "offered_tps": OFFERED_TPS,
+            "n_replicas": N_REPLICAS,
+            "read_weight": READ_WEIGHT,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": 0,
+        },
+        "metrics": {
+            "throughput_tps": point.throughput,
+            "update_tps": _update_tps(point),
+            "update_p50_ms": point.extras["p50_ms"].get("update"),
+            "update_p95_ms": point.extras["p95_ms"].get("update"),
+            "read_p95_ms": point.extras["p95_ms"].get("read-only"),
+            "abort_rate": point.abort_rate,
+        },
+        "profile": point.extras["profile"],
+    }
+
+
+def canonical_contention_point(quick: bool = True) -> dict:
+    """Contention anchor: the knobs-on side of the salvage comparison."""
+    duration, warmup = (3.0, 0.75) if quick else (6.0, 1.5)
+    point = _run_contention_point(True, duration, warmup, profile=True)
+    metrics = dict(_contention_summary(point))
+    return {
+        "config": {
+            "offered_tps": OFFERED_TPS,
+            "n_replicas": N_REPLICAS,
+            "cpu_servers": CONTENTION_CPU_SERVERS,
+            "read_weight": READ_WEIGHT,
+            "knobs_on": True,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": 0,
+        },
+        "metrics": metrics,
+        "profile": point.extras["profile"],
+    }
 
 
 if __name__ == "__main__":

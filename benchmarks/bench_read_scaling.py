@@ -29,6 +29,7 @@ from repro.bench.costs import MicroCost
 from repro.bench.harness import per_replica_cost
 from repro.client import RoutedDriver
 from repro.core import ClusterConfig, SIRepCluster
+from repro.obs import profile_run
 from repro.reader import ReaderConfig
 from repro.workloads import ClientPool
 from repro.workloads.micro import make_mixed_workload, make_workload
@@ -46,7 +47,7 @@ WARMUP = 1.0
 READER = ReaderConfig(max_read_inflight=8, writer_read_inflight=1)
 
 
-def _point(read_replicas):
+def _point(read_replicas, duration=DURATION, warmup=WARMUP, profile=False):
     cluster = SIRepCluster(
         ClusterConfig(
             n_replicas=N_REPLICAS,
@@ -54,6 +55,7 @@ def _point(read_replicas):
             cost_model=per_replica_cost(MicroCost),
             read_replicas=read_replicas,
             reader=READER,
+            span_trace=profile,
         )
     )
     update_workload = make_workload()
@@ -63,31 +65,37 @@ def _point(read_replicas):
     # separate pools: update pressure is identical across configurations,
     # so any p95 movement is attributable to read traffic placement
     update_pool = ClientPool(
-        cluster, update_workload, UPDATE_CLIENTS, UPDATE_TPS, DURATION,
-        warmup=WARMUP, seed_stream="upd-clients",
+        cluster, update_workload, UPDATE_CLIENTS, UPDATE_TPS, duration,
+        warmup=warmup, seed_stream="upd-clients",
     )
     read_pool = ClientPool(
-        cluster, read_workload, READ_CLIENTS, READ_TPS, DURATION,
-        warmup=WARMUP, seed_stream="read-clients",
+        cluster, read_workload, READ_CLIENTS, READ_TPS, duration,
+        warmup=warmup, seed_stream="read-clients",
         driver=RoutedDriver(
             cluster.network, cluster.discovery,
             reader_config=cluster.reader_config,
+            tracer=cluster.tracer,
         ),
     )
     update_pool.start()
     read_pool.start()
-    cluster.sim.run(until=DURATION)
+    cluster.sim.run(until=duration)
 
-    measured = DURATION - WARMUP
+    measured = duration - warmup
     update = update_pool.stats.categories["update"]
     read = read_pool.stats.categories["read-only"]
-    return {
+    result = {
         "read_tps": read.commits / measured,
         "update_tps": update.commits / measured,
         "read_p95_ms": read.percentile_ms(95),
         "update_p95_ms": update.percentile_ms(95),
         "routing": read_pool.driver.metrics(),
     }
+    if profile:
+        result["profile"] = profile_run(
+            cluster.tracer, throughput=result["update_tps"]
+        ).to_dict()
+    return result
 
 
 def _sweep():
@@ -132,3 +140,38 @@ def test_read_scaling(benchmark):
     # the admission controller queued the overload instead of failing it
     for n in READER_COUNTS:
         assert points[n]["routing"]["admission"]["queued"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Canonical point for the unified suite runner (repro.bench.suite)
+# ---------------------------------------------------------------------------
+
+CANONICAL_READERS = 2
+
+
+def canonical_point(quick: bool = True) -> dict:
+    """Read-scaling anchor: the 2-reader tier with routed-read tracing."""
+    duration, warmup = (2.5, 0.5) if quick else (DURATION, WARMUP)
+    point = _point(
+        CANONICAL_READERS, duration=duration, warmup=warmup, profile=True
+    )
+    routing = point["routing"]
+    return {
+        "config": {
+            "read_replicas": CANONICAL_READERS,
+            "n_replicas": N_REPLICAS,
+            "offered_update_tps": UPDATE_TPS,
+            "offered_read_tps": READ_TPS,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": 0,
+        },
+        "metrics": {
+            "read_tps": point["read_tps"],
+            "update_tps": point["update_tps"],
+            "read_p95_ms": point["read_p95_ms"],
+            "update_p95_ms": point["update_p95_ms"],
+            "admission_queued": routing["admission"]["queued"],
+        },
+        "profile": point["profile"],
+    }

@@ -18,6 +18,7 @@ import pathlib
 
 from repro.client import Driver
 from repro.core import ClusterConfig, SIRepCluster
+from repro.obs import profile_run
 
 RESULTS = pathlib.Path(__file__).resolve().parent.parent / "results"
 
@@ -26,8 +27,12 @@ DOWNTIME_TXNS = (5, 20)
 WRITE_SPACING = 0.05
 
 
-def _run_point(db_rows: int, missed: int, mode: str) -> dict:
-    cluster = SIRepCluster(ClusterConfig(n_replicas=3, seed=17, durable=True))
+def _run_point(
+    db_rows: int, missed: int, mode: str, profile: bool = False
+) -> dict:
+    cluster = SIRepCluster(
+        ClusterConfig(n_replicas=3, seed=17, durable=True, span_trace=profile)
+    )
     cluster.load_schema(["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"])
     cluster.bulk_load("kv", [{"k": k, "v": 0} for k in range(1, db_rows + 1)])
     driver = Driver(cluster.network, cluster.discovery)
@@ -65,7 +70,7 @@ def _run_point(db_rows: int, missed: int, mode: str) -> dict:
     assert replica.recovered
     stats = replica.recovery_stats
     assert stats["mode"] == mode
-    return {
+    result = {
         "db_rows": db_rows,
         "missed_txns": missed,
         "mode": mode,
@@ -75,6 +80,9 @@ def _run_point(db_rows: int, missed: int, mode: str) -> dict:
         "donor": stats["donor"],
         "audit_ok": cluster.one_copy_report().ok,
     }
+    if profile:
+        result["profile"] = profile_run(cluster.tracer).to_dict()
+    return result
 
 
 def _sweep() -> list[dict]:
@@ -129,3 +137,38 @@ def test_delta_recovery_beats_full_state_transfer(benchmark):
     RESULTS.mkdir(exist_ok=True)
     with open(RESULTS / "recovery.json", "w") as fh:
         json.dump({"points": points}, fh, indent=2)
+
+
+# ---------------------------------------------------------------------------
+# Canonical point for the unified suite runner (repro.bench.suite)
+# ---------------------------------------------------------------------------
+
+
+def canonical_point(quick: bool = True) -> dict:
+    """Recovery anchor: one delta-vs-full pair, traced on the delta side.
+
+    The phase attribution covers the update transactions the crashed
+    replica missed — the same stream the delta transfer replays.
+    """
+    db_rows = 200 if quick else 400
+    missed = 10 if quick else 20
+    delta = _run_point(db_rows, missed, "delta", profile=True)
+    full = _run_point(db_rows, missed, "full")
+    return {
+        "config": {
+            "db_rows": db_rows,
+            "missed_txns": missed,
+            "write_spacing": WRITE_SPACING,
+            "seed": 17,
+        },
+        "metrics": {
+            "delta_bytes": delta["bytes"],
+            "full_bytes": full["bytes"],
+            "full_over_delta_bytes": full["bytes"] / max(1, delta["bytes"]),
+            "delta_rows": delta["rows_or_records"],
+            "full_rows": full["rows_or_records"],
+            "delta_recovery_seconds": delta["recovery_seconds"],
+            "full_recovery_seconds": full["recovery_seconds"],
+        },
+        "profile": delta["profile"],
+    }

@@ -91,3 +91,54 @@ def test_shard_scaling(benchmark):
     # cross-shard write attempt
     for g in GROUP_COUNTS:
         assert points[g].extras["rejected_cross_shard_writes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Canonical point for the unified suite runner (repro.bench.suite)
+# ---------------------------------------------------------------------------
+
+CANONICAL_GROUPS = 2
+
+
+def canonical_point(quick: bool = True) -> dict:
+    """Shard-scaling anchor: 2 groups, router spans stitched to branches."""
+    duration, warmup = (2.5, 0.5) if quick else (5.0, 1.0)
+    rows_per_table = 1000 if quick else ROWS_PER_TABLE
+    workload = make_partitioned_workload(
+        CANONICAL_GROUPS,
+        tables_per_group=TABLES_PER_GROUP,
+        rows_per_table=rows_per_table,
+    )
+    point = run_sharded(
+        workload,
+        OFFERED_TPS,
+        n_groups=CANONICAL_GROUPS,
+        replicas_per_group=REPLICAS_PER_GROUP,
+        cost_model=MicroCost,
+        table_map=make_table_map(CANONICAL_GROUPS, TABLES_PER_GROUP),
+        duration=duration,
+        warmup=warmup,
+        seed=0,
+        profile=True,
+    )
+    return {
+        "config": {
+            "n_groups": CANONICAL_GROUPS,
+            "replicas_per_group": REPLICAS_PER_GROUP,
+            "tables_per_group": TABLES_PER_GROUP,
+            "rows_per_table": rows_per_table,
+            "offered_tps": OFFERED_TPS,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": 0,
+        },
+        "metrics": {
+            "throughput_tps": point.throughput,
+            "update_rt_ms": point.rt("update"),
+            "abort_rate": point.abort_rate,
+            "rejected_cross_shard_writes": point.extras[
+                "rejected_cross_shard_writes"
+            ],
+        },
+        "profile": point.extras["profile"],
+    }

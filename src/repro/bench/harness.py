@@ -17,11 +17,31 @@ from repro.client import RoutedDriver
 from repro.core import ClusterConfig, SIRepCluster
 from repro.core.baselines import CentralizedSystem, TableLockSystem
 from repro.gcs import GcsConfig
-from repro.obs import sanitize
+from repro.obs import profile_run, sanitize
 from repro.reader import ReaderConfig
 from repro.storage.engine import CostModel
 from repro.workloads import ClientPool, ProcClientPool, Workload
 from repro.workloads.stats import Stats
+
+
+def _profile_extras(cluster, update_tps: Optional[float]) -> Optional[dict]:
+    """Fold the run's span trees into the phase-attribution report.
+
+    Benchmarks get latency attribution through ``extras["profile"]``
+    without ever touching the Tracer: the report carries per-phase
+    p50/p95 contributions, the dominant tail phase, and (when the obs
+    sampler ran too) the Little's-law queueing diagnostics.
+    """
+    tracer = getattr(cluster, "tracer", None)
+    if tracer is None:
+        return None
+    obs = getattr(cluster, "obs", None)
+    report = profile_run(
+        tracer,
+        series=obs.sampler.series() if obs is not None else None,
+        throughput=update_tps or None,
+    )
+    return report.to_dict()
 
 
 def per_replica_cost(
@@ -118,6 +138,7 @@ def run_sirep(
     salvage: bool = False,
     salvage_defer_depth: int = 16,
     cpu_servers: int = 1,
+    profile: bool = False,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
 
@@ -136,6 +157,11 @@ def run_sirep(
     transactions are routed (with session tokens and admission control)
     instead of served in place, and the measured point's extras carry
     the read/update split plus the routing counters.
+
+    ``profile`` turns on span tracing and folds the run's span trees
+    into ``extras["profile"]`` — the critical-path phase attribution of
+    :mod:`repro.obs.profile` (per-phase p50/p95, tail-dominant phase,
+    queueing diagnostics when ``obs`` sampled gauges too).
     """
     cluster = SIRepCluster(
         ClusterConfig(
@@ -149,7 +175,7 @@ def run_sirep(
             obs=obs,
             sampler_interval=sampler_interval,
             trace=trace,
-            span_trace=span_trace,
+            span_trace=span_trace or profile,
             monitor=monitor,
             read_replicas=read_replicas,
             reader=reader,
@@ -164,6 +190,7 @@ def run_sirep(
         RoutedDriver(
             cluster.network, cluster.discovery,
             reader_config=cluster.reader_config,
+            tracer=cluster.tracer,
         )
         if routed
         else None
@@ -199,6 +226,11 @@ def run_sirep(
         read_tps=split.get("read-only", 0.0),
         update_tps=split.get("update", 0.0),
         routing=driver.metrics() if driver is not None else None,
+        profile=(
+            _profile_extras(cluster, split.get("update", 0.0))
+            if profile
+            else None
+        ),
         metrics=sanitize(cluster.metrics()),
     )
 
@@ -316,6 +348,7 @@ def run_sharded(
     sampler_interval: float = 0.25,
     span_trace: bool = False,
     monitor: bool = False,
+    profile: bool = False,
 ) -> LoadPoint:
     """Measure a sharded deployment (router entry point) at one load.
 
@@ -324,7 +357,9 @@ def run_sharded(
     single-group-write rule, or they surface as aborts.  ``obs``
     attaches one shared repro.obs surface across the groups;
     ``span_trace`` one shared Tracer (router hops included) and
-    ``monitor`` per-group online 1-copy-SI monitors.
+    ``monitor`` per-group online 1-copy-SI monitors.  ``profile`` turns
+    on the shared Tracer and folds the phase attribution (router spans
+    stitched to their per-group branch trees) into ``extras["profile"]``.
     """
     from repro.shard import ShardClientPool, ShardConfig, ShardedCluster
 
@@ -341,7 +376,7 @@ def run_sharded(
             group_commit=group_commit,
             obs=obs,
             sampler_interval=sampler_interval,
-            span_trace=span_trace,
+            span_trace=span_trace or profile,
             monitor=monitor,
         )
     )
@@ -351,6 +386,10 @@ def run_sharded(
     )
     stats = pool.run()
     name = label or f"sharded x{n_groups}"
+    measured = max(duration - warmup, 1e-9)
+    update_tps = stats.categories["update"].commits / measured if (
+        "update" in stats.categories
+    ) else 0.0
     return _collect(
         name,
         load,
@@ -360,6 +399,7 @@ def run_sharded(
         certification_aborts=cluster.total_certification_aborts(),
         cross_shard_readonly=cluster.router.stats_cross_shard_readonly,
         rejected_cross_shard_writes=cluster.router.stats_rejected_writes,
+        profile=_profile_extras(cluster, update_tps) if profile else None,
         metrics=sanitize(cluster.metrics()),
     )
 

@@ -41,6 +41,7 @@ from repro.errors import ConnectionLost, NoReplicaAvailable
 from repro.gcs import DiscoveryService
 from repro.net import Network
 from repro.net.network import ChannelClosed, Host
+from repro.obs.trace import TraceContext
 from repro.reader.config import ReaderConfig
 from repro.sim.sync import OneShot
 
@@ -122,6 +123,7 @@ class RoutedDriver(Driver):
         discover_ttl: float = 0.25,
         connect_retries: int = 25,
         retry_delay: float = 0.2,
+        tracer=None,
     ):
         super().__init__(
             network, discovery,
@@ -133,6 +135,12 @@ class RoutedDriver(Driver):
             raise ValueError(f"unknown routing policy {self.policy!r}")
         self.discover_ttl = discover_ttl
         self.admission = ReadAdmission()
+        #: optional repro.obs Tracer: each routed read-only transaction
+        #: gets a "read_txn" root span with its admission-queue wait as a
+        #: child, and the serving replica links its watermark wait in —
+        #: the profiler's read-path phases (pure bookkeeping, no yields)
+        self.tracer = tracer
+        self._read_trace_ids = 0
         self._rr = 0
         self._reader_cache: Optional[tuple[float, tuple[str, ...]]] = None
         self.stats_reads_routed = 0
@@ -200,6 +208,8 @@ class RoutedConnection(Connection):
         #: monotone session token: max certification csn this session has
         #: written or observed — demanded via ``min_csn`` on routed reads
         self._session_csn: Optional[int] = None
+        #: open "read_txn" root span of the active routed transaction
+        self._read_span = None
         self.read_failovers = 0
 
     # -- public surface -----------------------------------------------------------
@@ -232,6 +242,7 @@ class RoutedConnection(Connection):
             self._check_open()
             channel = self._read_channels.get(self._read_address)
             self._clear_read_txn(release=True)
+            self._read_trace_finish(status="rolled-back")
             if channel is not None:
                 try:
                     channel.client_end.send(protocol.RollbackReq(next(self._seqs)))
@@ -242,6 +253,7 @@ class RoutedConnection(Connection):
         yield from super().rollback()
 
     def close(self) -> None:
+        self._read_trace_finish(status="shutdown")
         for channel in self._read_channels.values():
             channel.close()
         self._read_channels.clear()
@@ -259,6 +271,67 @@ class RoutedConnection(Connection):
     @property
     def session_csn(self) -> Optional[int]:
         return self._session_csn
+
+    # -- tracing --------------------------------------------------------------------
+
+    def _read_trace_begin(self, start: float) -> None:
+        """Open the routed transaction's "read_txn" root span."""
+        tracer = self.driver.tracer
+        if tracer is None or self._read_span is not None:
+            return
+        self.driver._read_trace_ids += 1
+        self._read_span = tracer.start(
+            "read_txn",
+            f"read:{self.host.address}:{self.driver._read_trace_ids}",
+            replica=self.host.address,
+            start=start,
+        )
+
+    def _read_trace_wait(self, start: float, target: str) -> None:
+        """Record the admission-queue wait that just ended (if any)."""
+        tracer = self.driver.tracer
+        if tracer is None or self._read_span is None:
+            return
+        now = self.driver.network.sim.now
+        if now > start:
+            tracer.record(
+                "read_admission",
+                self._read_span.trace_id,
+                start=start,
+                parent=self._read_span.span_id,
+                replica=self.host.address,
+                target=target,
+            )
+
+    def _read_trace_serve(self, name: str, start: float, target: str) -> None:
+        """Record one statement/commit round trip against the root span."""
+        tracer = self.driver.tracer
+        if tracer is None or self._read_span is None:
+            return
+        tracer.record(
+            name,
+            self._read_span.trace_id,
+            start=start,
+            parent=self._read_span.span_id,
+            replica=self.host.address,
+            target=target,
+        )
+
+    def _read_trace_ctx(self) -> Optional[TraceContext]:
+        if self._read_span is None:
+            return None
+        return TraceContext(
+            self._read_span.trace_id,
+            self._read_span.span_id,
+            root_id=self._read_span.span_id,
+        )
+
+    def _read_trace_finish(self, status: str = "ok", **attrs) -> None:
+        tracer = self.driver.tracer
+        span, self._read_span = self._read_span, None
+        if tracer is None or span is None:
+            return
+        tracer.finish(span, status=status, **attrs)
 
     # -- read-transaction machinery -----------------------------------------------
 
@@ -285,12 +358,15 @@ class RoutedConnection(Connection):
     ) -> Generator[Any, Any, QueryResult]:
         driver: RoutedDriver = self.driver
         sim = driver.network.sim
+        self._read_trace_begin(sim.now)
         response = None
         for attempt in range(driver.connect_retries + 1):
             if attempt:
                 yield sim.sleep(driver.retry_delay)
             target, cap, is_reader = yield from self._route()
+            admission_start = sim.now
             yield from driver.admission.acquire(target, cap)
+            self._read_trace_wait(admission_start, target)
             channel = self._read_channels.get(target)
             if channel is None:
                 try:
@@ -301,8 +377,10 @@ class RoutedConnection(Connection):
                     continue
                 self._read_channels[target] = channel
             request = protocol.ExecuteReq(
-                next(self._seqs), sql, tuple(params), min_csn=self._session_csn
+                next(self._seqs), sql, tuple(params),
+                min_csn=self._session_csn, ctx=self._read_trace_ctx(),
             )
+            serve_start = sim.now
             channel.client_end.send(request)
             try:
                 response = yield from channel.client_end.recv()
@@ -312,8 +390,10 @@ class RoutedConnection(Connection):
                 self._drop_read_channel(target)
                 yield from self._after_target_lost(target, is_reader)
                 continue
+            self._read_trace_serve("read_serve", serve_start, target)
             break
         if response is None:
+            self._read_trace_finish(status="lost")
             raise NoReplicaAvailable("no replica answered the read route")
         self._read_address = target
         self._read_txn_active = True
@@ -321,16 +401,20 @@ class RoutedConnection(Connection):
             driver.stats_reads_routed += 1
         else:
             driver.stats_reads_fallback += 1
-        return self._finish_read_statement(response)
+        return self._finish_read_statement(response, target=target, routed=is_reader)
 
     def _execute_read_next(
         self, sql: str, params: tuple
     ) -> Generator[Any, Any, QueryResult]:
         channel = self._read_channels[self._read_address]
         request = protocol.ExecuteReq(next(self._seqs), sql, tuple(params))
+        serve_start = self.driver.network.sim.now
         channel.client_end.send(request)
         try:
             response = yield from channel.client_end.recv()
+            self._read_trace_serve(
+                "read_serve", serve_start, self._read_address
+            )
         except ChannelClosed:
             # case 2: the snapshot died with the reader — restart the txn
             crashed = self._read_address
@@ -338,16 +422,20 @@ class RoutedConnection(Connection):
             self._clear_read_txn(release=True)
             self.read_failovers += 1
             self.driver.invalidate_readers()
+            self._read_trace_finish(status="lost-session", target=crashed)
             raise ConnectionLost(
                 f"read replica {crashed!r} crashed; transaction lost, "
                 "restart it on the new connection"
             )
         return self._finish_read_statement(response)
 
-    def _finish_read_statement(self, response) -> QueryResult:
+    def _finish_read_statement(self, response, **span_attrs) -> QueryResult:
         if response.error is not None:
             self._clear_read_txn(release=True)
+            self._read_trace_finish(status="aborted", **span_attrs)
             raise protocol.unmarshal_error(response.error)
+        if self._read_span is not None and span_attrs:
+            self._read_span.attrs.update(span_attrs)
         self._read_gid = response.gid
         self._read_txn_active = True
         if response.snapshot_csn is not None:
@@ -363,9 +451,13 @@ class RoutedConnection(Connection):
         self._check_open()
         channel = self._read_channels.get(self._read_address)
         request = protocol.CommitReq(next(self._seqs))
+        serve_start = self.driver.network.sim.now
         try:
             channel.client_end.send(request)
             response = yield from channel.client_end.recv()
+            self._read_trace_serve(
+                "read_commit", serve_start, self._read_address
+            )
         except ChannelClosed:
             # a read-only commit has no writes whose outcome could be in
             # doubt: the reads already happened — treat as committed
@@ -373,11 +465,14 @@ class RoutedConnection(Connection):
             self._clear_read_txn(release=True)
             self.read_failovers += 1
             self.driver.invalidate_readers()
+            self._read_trace_finish(status="ok", commit_race=True)
             return
         self._clear_read_txn(release=True)
         if response.error is not None:
+            self._read_trace_finish(status="aborted")
             raise protocol.unmarshal_error(response.error)
         self._merge_token(response.csn)
+        self._read_trace_finish(status="ok")
 
     def _clear_read_txn(self, release: bool) -> None:
         if release and self._read_address is not None and self._read_txn_active:

@@ -378,6 +378,7 @@ class SIRepCluster:
             discovery=self.discovery,
             obs=self.obs,
             from_seq=from_seq,
+            tracer=self.tracer,
         )
 
     def _add_reader(self, index: int) -> ReadReplica:
@@ -586,6 +587,9 @@ class SIRepCluster:
         )
         registry.gauge(
             f"{name}.active_sessions", lambda: replica.active_sessions
+        )
+        registry.gauge(
+            f"{name}.cpu_utilization", replica.node.cpu.utilization
         )
         # read through the replica attribute: recovery swaps the
         # certifier object when the donor state is installed

@@ -41,6 +41,11 @@ class ExecuteReq:
     #: full replica its commit csn (the two counters advance in lockstep
     #: over the same certified stream) — has reached this value.
     min_csn: Optional[int] = None
+    #: trace coordinates of the routed driver's read_txn span: the
+    #: serving replica records its watermark wait ("staleness_wait")
+    #: against this context so the client-side critical path is
+    #: attributable end to end (None when tracing is off)
+    ctx: Optional[Any] = None
 
 
 @dataclass(frozen=True)

@@ -1276,7 +1276,24 @@ class MiddlewareReplica:
             # csn counts exactly the certified writesets committed here,
             # so it advances in lockstep with the certification tid.
             token = request.min_csn
+            wait_started = self.sim.now
             yield from wait_until(self.commit_gate, lambda: self.db.csn >= token)
+            if (
+                self.tracer is not None
+                and request.ctx is not None
+                and self.sim.now > wait_started
+            ):
+                # routed-read fallback served here: the client blocked on
+                # our csn catching up — same read-path phase as a lazy
+                # reader's watermark wait
+                self.tracer.record(
+                    "staleness_wait",
+                    request.ctx.trace_id,
+                    start=wait_started,
+                    link=request.ctx.span_id,
+                    replica=self.name,
+                    min_csn=token,
+                )
         sql_upper = request.sql.lstrip().upper()
         if sql_upper.startswith("CREATE"):
             if session.txn is not None and session.txn.active:

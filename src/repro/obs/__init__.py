@@ -30,6 +30,14 @@ from repro.obs.metrics import (
     sanitize,
 )
 from repro.obs.monitor import MonitorViolation, OneCopyMonitor
+from repro.obs.profile import (
+    PHASES,
+    ProfileReport,
+    TxnProfile,
+    compare_reports,
+    profile_run,
+    profile_spans,
+)
 from repro.obs.sampler import Sampler
 from repro.obs.trace import Span, TraceContext, Tracer
 
@@ -44,10 +52,16 @@ __all__ = [
     "Observability",
     "OneCopyMonitor",
     "PERCENTILES",
+    "PHASES",
+    "ProfileReport",
     "Sampler",
     "Span",
     "TraceContext",
     "Tracer",
+    "TxnProfile",
+    "compare_reports",
+    "profile_run",
+    "profile_spans",
     "quantile",
     "sanitize",
 ]
@@ -63,9 +77,16 @@ class Observability:
         sampler_max_samples: int = 4096,
         event_capacity: int = 10_000,
         autostart: bool = True,
+        histogram_max_samples: int = 8192,
     ):
         self.sim = sim
-        self.registry = MetricsRegistry()
+        # every histogram created through the deployment surface is
+        # retention-bounded: a long run's registry plateaus instead of
+        # holding every latency sample ever observed (count/sum/recent
+        # quantiles survive; pass None to keep exact full-run quantiles)
+        self.registry = MetricsRegistry(
+            histogram_max_samples=histogram_max_samples
+        )
         self.events = EventLog(sim, capacity=event_capacity)
         self.sampler = Sampler(
             sim,

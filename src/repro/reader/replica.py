@@ -59,6 +59,7 @@ class ReadReplica:
         discovery: Optional[DiscoveryService] = None,
         obs=None,
         from_seq: int = 0,
+        tracer=None,
     ):
         self.sim = sim
         self.name = name
@@ -69,6 +70,11 @@ class ReadReplica:
         self.config = config or ReaderConfig()
         self.discovery = discovery
         self.obs = obs
+        #: optional repro.obs Tracer: watermark waits (session token /
+        #: staleness bound) are recorded against the routed driver's
+        #: read_txn span via the request's trace context (link edge —
+        #: this replica is not the span's home); pure bookkeeping
+        self.tracer = tracer
         self.alive = True
         #: certification tid of the last applied writeset (the advertised csn)
         self.watermark = 0
@@ -287,6 +293,7 @@ class ReadReplica:
         if session.txn is None or not session.txn.active:
             # the snapshot is fixed by the first statement: honor the
             # session token and the staleness bound before taking it
+            wait_started = self.sim.now
             if request.min_csn is not None:
                 token = request.min_csn
                 yield from wait_until(
@@ -295,6 +302,21 @@ class ReadReplica:
             bound = self.config.staleness_bound
             if bound is not None and self.lag > bound:
                 yield from wait_until(self.apply_gate, lambda: self.lag <= bound)
+            if (
+                self.tracer is not None
+                and request.ctx is not None
+                and self.sim.now > wait_started
+            ):
+                # the client blocked here: attribute the watermark wait
+                # to its read_txn critical path
+                self.tracer.record(
+                    "staleness_wait",
+                    request.ctx.trace_id,
+                    start=wait_started,
+                    link=request.ctx.span_id,
+                    replica=self.name,
+                    min_csn=request.min_csn,
+                )
             session.gid = f"{self.name}:g{next(self._gids)}"
             session.txn = self.db.begin(gid=session.gid)
         result = yield from self.db.execute(session.txn, request.sql, request.params)

@@ -198,10 +198,17 @@ class RouterConnection:
 
     # -- public surface --------------------------------------------------------
 
-    def execute(self, sql: str, params: tuple = ()) -> Generator[Any, Any, Any]:
+    def execute(
+        self, sql: str, params: tuple = (), readonly: bool = False
+    ) -> Generator[Any, Any, Any]:
         """Route one statement to its owning group.
 
         Starts a branch transaction on that group if none is active.
+        ``readonly`` matches the plain driver's surface (the client pool
+        passes it for every statement); branch transactions always run
+        on the owning group's voting replicas, so the router serves
+        read-only transactions in place rather than forwarding them to
+        a per-group read tier.
         """
         self._check_open()
         self._route_begin()

@@ -1,0 +1,50 @@
+"""Histogram retention must plateau when bounded (the deployment default).
+
+The raw ``Histogram`` primitive retains every sample unless capped; the
+``Observability`` surface — what every cluster/harness run attaches —
+caps every histogram it creates, so a long run's memory plateaus while
+count/sum aggregates stay exact.
+"""
+
+from repro.obs import Observability
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim import Simulator
+
+
+def test_bounded_histogram_plateaus():
+    h = Histogram("rt", max_samples=128)
+    for i in range(10_000):
+        h.observe(float(i))
+    # retention plateaus (drop-oldest-half keeps it within the cap)...
+    assert len(h._samples) <= 128
+    # ...while the exact aggregates keep counting
+    assert h.count == 10_000
+    assert h.total == sum(range(10_000))
+    # quantiles reflect the retained (recent) window
+    assert h.quantile(0.5) > 9_000
+
+
+def test_unbounded_primitive_keeps_everything():
+    h = Histogram("rt")
+    for i in range(1_000):
+        h.observe(float(i))
+    assert len(h._samples) == 1_000
+
+
+def test_registry_propagates_bound_to_new_histograms():
+    registry = MetricsRegistry(histogram_max_samples=64)
+    h = registry.histogram("a.latency")
+    assert h.max_samples == 64
+    for i in range(1_000):
+        h.observe(float(i))
+    assert len(h._samples) <= 64
+
+
+def test_observability_surface_is_bounded_by_default():
+    obs = Observability(Simulator(), autostart=False)
+    h = obs.registry.histogram("R0.commit_ms")
+    assert h.max_samples == 8192
+    for i in range(20_000):
+        h.observe(float(i))
+    assert len(h._samples) <= 8192
+    assert h.count == 20_000

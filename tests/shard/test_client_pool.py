@@ -1,0 +1,64 @@
+"""Sharded closed-loop clients actually commit through the router.
+
+Regression guard: the read-scaling tier taught ``ClientPool`` to pass
+``readonly=`` on every statement, but ``RouterConnection.execute`` did
+not accept the keyword — every sharded client died on its first
+statement with a ``TypeError`` the simulator swallowed, and the
+benchmark silently measured zero throughput.  This pins the pool ->
+router -> group path end to end, and the ``profile`` fold with it.
+"""
+
+from repro.bench.costs import MicroCost
+from repro.bench.harness import per_replica_cost, run_sharded
+from repro.gcs import GcsConfig
+from repro.shard import ShardClientPool, ShardConfig, ShardedCluster
+from repro.workloads.sharded import make_partitioned_workload, make_table_map
+
+
+def _workload(n_groups=2, rows=300):
+    return make_partitioned_workload(
+        n_groups, tables_per_group=4, rows_per_table=rows
+    )
+
+
+def test_shard_client_pool_commits():
+    workload = _workload()
+    cluster = ShardedCluster(
+        ShardConfig(
+            n_groups=2,
+            replicas_per_group=3,
+            seed=0,
+            cost_model=per_replica_cost(MicroCost),
+            partition="explicit",
+            table_map=make_table_map(2, 4),
+            gcs=GcsConfig(),
+        )
+    )
+    workload.install(cluster)
+    pool = ShardClientPool(cluster, workload, 20, 100.0, 2.0, warmup=0.5)
+    stats = pool.run()
+    # the sim must run the full duration (dead clients drain the queue)
+    assert cluster.sim.now >= 2.0
+    assert stats.categories["update"].commits > 0
+
+
+def test_run_sharded_profile_extras():
+    point = run_sharded(
+        _workload(),
+        100.0,
+        n_groups=2,
+        replicas_per_group=3,
+        cost_model=MicroCost,
+        table_map=make_table_map(2, 4),
+        duration=2.0,
+        warmup=0.5,
+        seed=0,
+        profile=True,
+    )
+    assert point.throughput > 0
+    profile = point.extras["profile"]
+    updates = profile["updates"]
+    assert updates["n"] > 0
+    assert updates["phases"]
+    # attribution sums to end-to-end within the 1% acceptance bound
+    assert updates["max_attribution_error"] <= 0.01
