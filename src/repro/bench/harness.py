@@ -16,6 +16,7 @@ from typing import Callable, Optional
 from repro.client import RoutedDriver
 from repro.core import ClusterConfig, SIRepCluster
 from repro.core.baselines import CentralizedSystem, TableLockSystem
+from repro.durable.store import DurabilityConfig
 from repro.gcs import GcsConfig
 from repro.obs import profile_run, sanitize
 from repro.reader import ReaderConfig
@@ -139,8 +140,17 @@ def run_sirep(
     salvage_defer_depth: int = 16,
     cpu_servers: int = 1,
     profile: bool = False,
+    runtime: str = "sim",
+    durability: Optional["DurabilityConfig"] = None,
 ) -> LoadPoint:
     """Measure SRCA-Rep (or SRCA-Opt with hole_sync=False) at one load.
+
+    ``runtime`` selects the execution backend: ``"sim"`` measures in
+    virtual time on the discrete-event kernel; ``"wall"`` runs the same
+    protocol on :class:`repro.runtime.AsyncioRuntime` — real timers,
+    real TCP sockets, real elapsed seconds.  The measured point's
+    ``extras["metrics"]["runtime"]`` carries the tag so downstream
+    tooling never compares the two clocks against each other.
 
     ``gcs`` overrides the GCS timing/batching knobs (batching sweeps);
     ``group_commit`` turns on per-replica commit-cost coalescing;
@@ -182,6 +192,8 @@ def run_sirep(
             salvage=salvage,
             salvage_defer_depth=salvage_defer_depth,
             cpu_servers=cpu_servers,
+            runtime=runtime,
+            durability=durability,
         )
     )
     workload.install(cluster)
@@ -209,7 +221,7 @@ def run_sirep(
         category: data.commits / measured
         for category, data in stats.categories.items()
     }
-    return _collect(
+    point = _collect(
         name,
         load,
         stats,
@@ -233,6 +245,9 @@ def run_sirep(
         ),
         metrics=sanitize(cluster.metrics()),
     )
+    if cluster.clock == "wall":
+        cluster.stop()  # free the loop, sockets, and timers of this run
+    return point
 
 
 def run_centralized(

@@ -60,7 +60,15 @@ BENCHES: dict[str, tuple[str, str]] = {
     "shard_scaling": ("bench_shard_scaling", "canonical_point"),
     "recovery": ("bench_recovery", "canonical_point"),
     "micro_ops": ("bench_micro_ops", "canonical_point"),
+    "realtime": ("bench_realtime", "canonical_point"),
 }
+
+#: benches measuring real elapsed time on the wall-clock runtime.  They
+#: are excluded from the default sweep (the sim perf-trajectory lane
+#: must stay deterministic) and run via ``--only`` in the CI realtime
+#: lane; their envelopes carry ``runtime: "wall"`` and are only ever
+#: compared against wall baselines.
+WALL_BENCHES: frozenset[str] = frozenset({"realtime"})
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,13 @@ TOLERANCES: dict[str, dict[str, Tol]] = {
         # the metric this bench actually defends.
         "*": Tol(rel=9.0, abs=10.0),
         "indexed_flatness_256_over_1": Tol(rel=1.0, abs=1.0),
+    },
+    "realtime": {
+        # genuine wall-clock numbers on shared CI hardware: very wide
+        # timing-noise bands.  The bench defends liveness (non-zero
+        # throughput, bounded aborts), not a latency trajectory.
+        "*": Tol(rel=3.0, abs=50.0),
+        "abort_rate": Tol(rel=1.0, abs=0.25),
     },
 }
 
@@ -178,6 +193,9 @@ def run_bench(
         "seed": config.get("seed"),
         "config": config,
         "git": git_meta(),
+        # which clock produced the numbers; wall results never compare
+        # against sim baselines (compare_result enforces this)
+        "runtime": payload.get("runtime", "sim"),
         "metrics": dict(payload.get("metrics", {})),
         "profile": payload.get("profile"),
     }
@@ -237,6 +255,17 @@ def compare_result(name: str, result: dict, baseline: dict) -> list[dict]:
                 "current": result.get("quick"),
             }
         ]
+    # sim seconds and wall seconds are different units; a baseline from
+    # one runtime must never band-check a result from the other
+    if baseline.get("runtime", "sim") != result.get("runtime", "sim"):
+        return [
+            {
+                "metric": None,
+                "kind": "runtime_mismatch",
+                "baseline": baseline.get("runtime", "sim"),
+                "current": result.get("runtime", "sim"),
+            }
+        ]
     violations = []
     tols = TOLERANCES.get(name, {})
     default = tols.get("*", DEFAULT_TOL)
@@ -289,8 +318,12 @@ def run_suite(
 
     ``inject_slowdown`` multiplies the named benches' metrics by 10 after
     measurement — the CI negative test proving the bands actually trip.
+
+    Without explicit ``names`` the sweep covers the deterministic sim
+    benches only; wall-clock benches (:data:`WALL_BENCHES`) opt in via
+    ``names``/``--only`` so the perf-trajectory lane stays reproducible.
     """
-    names = list(names) if names else list(BENCHES)
+    names = list(names) if names else [n for n in BENCHES if n not in WALL_BENCHES]
     inject = set(inject_slowdown or ())
     unknown = [n for n in names if n not in BENCHES] + [
         n for n in inject if n not in BENCHES
@@ -425,8 +458,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"{name:<14} {stem}.{fn}")
         return 0
 
-    # preserve the canonical BENCHES ordering whatever --only order was
-    names = [n for n in BENCHES if args.only is None or n in args.only]
+    # preserve the canonical BENCHES ordering whatever --only order was;
+    # wall-clock benches run only when explicitly named with --only
+    if args.only is not None:
+        names = [n for n in BENCHES if n in args.only]
+    else:
+        names = [n for n in BENCHES if n not in WALL_BENCHES]
     report = run_suite(
         names,
         quick=args.quick,

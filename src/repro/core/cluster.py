@@ -124,6 +124,11 @@ class ClusterConfig:
     #: read-tier knobs: staleness bound, fan-out delay, routing policy,
     #: admission caps (None = defaults)
     reader: Optional[ReaderConfig] = None
+    #: execution backend: ``"sim"`` (discrete-event simulator, virtual
+    #: time) or ``"wall"`` (AsyncioRuntime: real timers, TCP sockets for
+    #: client and GCS traffic, fsync-backed durable logs).  See
+    #: :mod:`repro.runtime.api`.
+    runtime: str = "sim"
 
 
 class SIRepCluster:
@@ -157,16 +162,35 @@ class SIRepCluster:
             raise ValueError(
                 f"replica_prefix {cfg.replica_prefix!r} may not contain '.' or ':'"
             )
-        self.sim = sim if sim is not None else Simulator(seed=cfg.seed)
-        self.network = network if network is not None else Network(
-            self.sim,
-            latency=LatencyModel(
-                base=cfg.net_base_latency,
-                jitter=cfg.net_jitter,
-                rng=self.sim.rng("net"),
-            ),
-        )
-        self.bus = bus if bus is not None else GroupBus(self.sim, config=cfg.gcs)
+        if cfg.runtime not in ("sim", "wall"):
+            raise ValueError(f"unknown runtime {cfg.runtime!r} ('sim' or 'wall')")
+        self._owns_runtime = sim is None
+        if sim is not None:
+            self.sim = sim
+        else:
+            from repro.runtime.api import make_runtime
+
+            self.sim = make_runtime(cfg.runtime, seed=cfg.seed)
+        #: which clock this deployment runs on ("sim" | "wall"); tags
+        #: metrics and bench envelopes so the two are never conflated
+        self.clock = getattr(self.sim, "clock", "sim")
+        if self.clock == "wall":
+            from repro.runtime import TcpGroupBus, TcpNetwork
+
+            self.network = network if network is not None else TcpNetwork(self.sim)
+            self.bus = bus if bus is not None else TcpGroupBus(
+                self.sim, config=cfg.gcs, network=self.network
+            )
+        else:
+            self.network = network if network is not None else Network(
+                self.sim,
+                latency=LatencyModel(
+                    base=cfg.net_base_latency,
+                    jitter=cfg.net_jitter,
+                    rng=self.sim.rng("net"),
+                ),
+            )
+            self.bus = bus if bus is not None else GroupBus(self.sim, config=cfg.gcs)
         #: adaptive batch windows: point the bus at this cluster's
         #: contention estimate unless a sharded deployment wired its own
         self._signal_prev = (0, 0)
@@ -178,9 +202,20 @@ class SIRepCluster:
         )
         #: durable state shared across incarnations; pass an external
         #: DurabilityStore to make it outlive the cluster (cold restart)
+        durability_cfg = cfg.durability
+        if (
+            self.clock == "wall"
+            and durability_cfg is not None
+            and durability_cfg.log_dir is not None
+            and not durability_cfg.fsync
+        ):
+            # on real hardware a disk-backed log pays for its durability
+            from dataclasses import replace as _dc_replace
+
+            durability_cfg = _dc_replace(durability_cfg, fsync=True)
         self.durable_store = durability if durability is not None else (
-            DurabilityStore(cfg.durability)
-            if (cfg.durable or cfg.durability is not None)
+            DurabilityStore(durability_cfg)
+            if (cfg.durable or durability_cfg is not None)
             else None
         )
         self._cold_start = cold_start
@@ -986,6 +1021,9 @@ class SIRepCluster:
                 )
         out = {
             "now": self.sim.now,
+            # which clock produced these numbers — sim seconds and wall
+            # seconds must never be compared against each other
+            "runtime": self.clock,
             "commits": self.total_commits(),
             "certification_aborts": self.total_certification_aborts(),
             "gcs_deliveries": self.bus.delivered_count,
@@ -1044,3 +1082,7 @@ class SIRepCluster:
                 self.obs.registry.unregister_prefix(f"{replica.name}.")
             for reader in self.readers:
                 self.obs.registry.unregister_prefix(f"{reader.name}.")
+        if self.clock == "wall" and self._owns_runtime:
+            # wall runtime holds real resources (sockets, timers, an
+            # event loop); sweep them so repeated runs never leak
+            self.sim.stop()

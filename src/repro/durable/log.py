@@ -28,6 +28,7 @@ incarnations through the owning :class:`repro.durable.store.DurabilityStore`.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Generator, Optional
@@ -144,12 +145,16 @@ class WritesetLog:
 
     def __init__(self, name: str, segment_records: int = 256,
                  fsync_time: float = 0.0002, byte_time: float = 2e-9,
-                 directory: Optional[Path] = None):
+                 directory: Optional[Path] = None, fsync: bool = False):
         self.name = name
         self.segment_records = max(1, segment_records)
         self.fsync_time = fsync_time
         self.byte_time = byte_time
         self.directory = Path(directory) if directory is not None else None
+        #: call os.fsync on each group-commit flush (real-time runtime:
+        #: durability is paid for, not just accounted); needs ``directory``
+        self.fsync = fsync
+        self.fsyncs = 0
         #: durable records, oldest first; the last segment is the active one
         self.segments: list[Segment] = []
         #: appended but not yet durable (lost on crash)
@@ -231,6 +236,10 @@ class WritesetLog:
             if self.directory is not None and segment.path is not None:
                 with open(segment.path, "a") as fh:
                     fh.write(json.dumps(record.to_json()) + "\n")
+                    if self.fsync:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                        self.fsyncs += 1
             if len(segment) >= self.segment_records:
                 segment.sealed = True
         self.durable_seq = group[-1].seq

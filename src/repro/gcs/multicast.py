@@ -176,13 +176,16 @@ class GroupBus:
         sim: Simulator,
         config: Optional[GcsConfig] = None,
         rng_stream: str = "gcs",
+        rng=None,
     ):
         # ``rng_stream`` keeps multiple buses on one simulator (a sharded
         # deployment runs one bus per replication group) statistically
-        # independent: each draws jitter from its own named stream.
+        # independent: each draws jitter from its own named stream.  An
+        # explicit ``rng`` overrides the stream lookup so conformance
+        # harnesses can inject one seeded source end-to-end.
         self.sim = sim
         self.config = config or GcsConfig()
-        self._rng = sim.rng(rng_stream)
+        self._rng = rng if rng is not None else sim.rng(rng_stream)
         self._members: dict[str, GroupMember] = {}
         self._seq = itertools.count(1)
         self.view_id = 0

@@ -22,16 +22,33 @@ class ChannelClosed(ReproError):
 
 
 class LatencyModel:
-    """Per-hop one-way delay: ``base`` plus uniform jitter in [0, jitter]."""
+    """Per-hop one-way delay: ``base`` plus uniform jitter in [0, jitter].
+
+    Jitter is always drawn from an injectable seeded RNG — there is no
+    module-level fallback and no silent jitter drop, so a sim run is
+    exactly reproducible from ``(seed, stream)`` and comparable against a
+    wall-clock run of the same workload.  :class:`Network` binds
+    ``sim.rng("net")`` automatically if the model arrives unbound.
+    """
 
     def __init__(self, base: float = 0.0002, jitter: float = 0.0001, rng=None):
         self.base = base
         self.jitter = jitter
         self._rng = rng
 
+    def bind_rng(self, rng) -> None:
+        """Late-bind the jitter RNG (no-op if one is already bound)."""
+        if self._rng is None:
+            self._rng = rng
+
     def sample(self) -> float:
-        if self._rng is None or self.jitter <= 0:
+        if self.jitter <= 0:
             return self.base
+        if self._rng is None:
+            raise ReproError(
+                "LatencyModel with jitter > 0 has no RNG bound; pass "
+                "rng=sim.rng('net') (or attach the model to a Network)"
+            )
         return self.base + self._rng.random() * self.jitter
 
 
@@ -40,7 +57,8 @@ class Network:
 
     def __init__(self, sim: Simulator, latency: Optional[LatencyModel] = None):
         self.sim = sim
-        self.latency = latency or LatencyModel(rng=sim.rng("net"))
+        self.latency = latency or LatencyModel()
+        self.latency.bind_rng(sim.rng("net"))
         self.hosts: dict[str, Host] = {}
         self._label_counts: dict[str, int] = {}
 

@@ -5,8 +5,10 @@ execution at its home replica, the GCS sequencer, certification and the
 to-commit queue at *every* replica, the hole wait of adjustment 3 — and
 the §4/§6 analyses keep asking where that life is spent.  A
 :class:`Tracer` answers per transaction: each protocol step opens a
-:class:`Span` (named interval in **simulated** time — no wall clock
-anywhere), spans reference their parent within one replica and *link*
+:class:`Span` (named interval on the runtime's clock — simulated
+seconds under the Simulator, elapsed seconds under the wall runtime;
+exports carry a ``clock`` tag so the two are never conflated), spans
+reference their parent within one replica and *link*
 to their causal origin across replicas, and the whole set exports as
 JSONL or Chrome trace-event JSON loadable in Perfetto / ``chrome://tracing``.
 
@@ -121,6 +123,10 @@ class Tracer:
 
     def __init__(self, sim, max_spans: int = 100_000):
         self.sim = sim
+        #: which clock the timestamps come from ("sim" or "wall") —
+        #: exported with every span so wall traces are never mistaken
+        #: for deterministic sim traces
+        self.clock = getattr(sim, "clock", "sim")
         #: finished spans in finish order (oldest fall off first)
         self._finished: deque[Span] = deque(maxlen=max_spans)
         #: span_id -> still-open span
@@ -245,7 +251,8 @@ class Tracer:
     def to_jsonl(self) -> str:
         """Finished spans as JSONL, one strict-JSON object per line."""
         return "\n".join(
-            json.dumps(sanitize(span.to_dict()), allow_nan=False)
+            json.dumps(sanitize({**span.to_dict(), "clock": self.clock}),
+                       allow_nan=False)
             for span in self._finished
         )
 
@@ -309,7 +316,11 @@ class Tracer:
                     ),
                 }
             )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "metadata": {"clock": self.clock},
+        }
 
     def dump_chrome(self, target: Union[str, IO[str]]) -> int:
         """Write the Chrome trace JSON; returns the span event count."""

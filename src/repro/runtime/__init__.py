@@ -1,0 +1,26 @@
+"""Execution backends for the SI-Rep protocol: one protocol, two schedulers.
+
+* ``make_runtime("sim")`` — the deterministic discrete-event simulator
+  (:class:`repro.sim.Simulator`).
+* ``make_runtime("wall")`` — :class:`AsyncioRuntime`: wall-clock timers,
+  TCP sockets behind the Channel semantics, fsync-backed durability.
+
+See :mod:`repro.runtime.api` for the kernel interface both implement.
+"""
+
+from repro.runtime.api import Runtime, make_runtime
+from repro.runtime.asyncio_rt import AsyncioRuntime
+from repro.runtime.tcpbus import TcpGroupBus, TcpGroupMember
+from repro.runtime.tcpnet import TcpChannel, TcpChannelEnd, TcpHost, TcpNetwork
+
+__all__ = [
+    "Runtime",
+    "make_runtime",
+    "AsyncioRuntime",
+    "TcpNetwork",
+    "TcpHost",
+    "TcpChannel",
+    "TcpChannelEnd",
+    "TcpGroupBus",
+    "TcpGroupMember",
+]

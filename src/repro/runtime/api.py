@@ -1,0 +1,100 @@
+"""The runtime API: the kernel surface the protocol is coded against.
+
+The SI-Rep protocol code (``core/srca_rep.py``, ``core/replica.py``,
+``gcs/``, ``net/``, ``durable/``, ``reader/``) never touches scheduler
+internals.  Everything it needs from "the kernel" is the narrow surface
+captured by :class:`Runtime` below: spawn / sleep / now, the FIFO sync
+primitives from :mod:`repro.sim.sync` (``Queue``, ``Event``, ``Mutex``,
+``Gate``, ``OneShot``), channel send/recv with FIFO-then-break crash
+semantics, and timer scheduling (``call_at`` / ``_schedule`` with
+strong/weak accounting).  Any object implementing this surface can run
+the whole protocol:
+
+* :class:`repro.sim.Simulator` — the discrete-event backend.  Virtual
+  time, deterministic heap order, seeded RNG streams; ``clock == "sim"``.
+* :class:`repro.runtime.AsyncioRuntime` — the real-time backend.  An
+  asyncio event loop drives wall-clock timers; the same generator
+  processes and sync primitives run unchanged on top of it, TCP sockets
+  implement the channels (:mod:`repro.runtime.tcpnet`) and the GCS
+  (:mod:`repro.runtime.tcpbus`), and the durable writeset log fsyncs
+  real files; ``clock == "wall"``.
+
+Both backends reuse ``repro.sim.kernel.Process`` and ``Delay`` and the
+whole of ``repro.sim.sync`` verbatim — those are written purely against
+``sim._schedule`` / ``process._schedule_resume``, which is exactly the
+point: the kernel boundary is the scheduler, not the primitives.
+
+Behavioral contract (pinned by ``tests/runtime/test_kernel_contract.py``):
+
+* ``spawn(gen)`` rejects non-generator iterators; non-daemon failures
+  abort ``run()`` with :class:`~repro.errors.SimulationError`.
+* ``kill()`` while blocked cancels the awaitable (no ghost resumption)
+  and resumes joiners with :class:`~repro.errors.ProcessKilled`.
+* Weak timers (``sleep(d, weak=True)``) never keep ``run()`` alive.
+* ``Queue.close`` fails blocked getters but still drains queued items.
+* A broken channel delivers :class:`~repro.net.network.ChannelClosed`
+  *behind* in-flight FIFO data, for simulated hops and TCP alike.
+
+Known divergence: ``call_at`` with a target in the past raises on the
+simulator (it would reorder the deterministic heap) but clamps to
+"now" on the wall clock, where real time necessarily advances between
+computing a target and scheduling it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
+
+from repro.errors import ReproError
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """Structural type of a protocol scheduler (see module docstring)."""
+
+    #: ``"sim"`` (virtual time) or ``"wall"`` (real time); metrics and
+    #: bench envelopes carry this tag so the two are never conflated.
+    clock: str
+
+    processes: list
+
+    @property
+    def now(self) -> float: ...
+
+    def rng(self, stream: str): ...
+
+    def sleep(self, duration: float, weak: bool = False): ...
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None: ...
+
+    def spawn(self, gen, name: str = "?", daemon: bool = False): ...
+
+    def run(self, until: Optional[float] = None) -> None: ...
+
+    def run_process(self, gen, name: str = "main") -> Any: ...
+
+    def stop(self) -> None: ...
+
+    def _schedule(
+        self, delay: float, callback: Callable, arg: Any, weak: bool = False
+    ) -> None: ...
+
+    def _record_failure(self, process, exc: BaseException) -> None: ...
+
+
+def make_runtime(kind: str, seed: int = 0, trace=None):
+    """Build a runtime by name: ``"sim"`` or ``"wall"``.
+
+    ``seed`` feeds the named RNG streams identically on both backends
+    (``rng("net")`` draws the same sequence under either scheduler),
+    which is what makes sim-vs-wall conformance runs comparable.
+    """
+    if kind == "sim":
+        from repro.sim import Simulator
+
+        return Simulator(seed=seed, trace=trace)
+    if kind in ("wall", "asyncio"):
+        from repro.runtime.asyncio_rt import AsyncioRuntime
+
+        return AsyncioRuntime(seed=seed, trace=trace)
+    raise ReproError(f"unknown runtime {kind!r} (expected 'sim' or 'wall')")

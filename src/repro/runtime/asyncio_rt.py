@@ -1,0 +1,334 @@
+"""The real-time runtime: the protocol kernel on an asyncio event loop.
+
+:class:`AsyncioRuntime` implements the :mod:`repro.runtime.api` surface
+on wall-clock time.  The same generator :class:`~repro.sim.kernel.Process`
+objects and FIFO sync primitives run unchanged; only the scheduler
+differs — ``_schedule`` maps to ``loop.call_later`` instead of a heap
+push, and ``now`` is real elapsed seconds since the runtime was built.
+
+Strong/weak accounting mirrors the simulator: ``run()`` without a
+horizon returns once no strong timer is pending.  Real I/O adds one
+wrinkle the simulator never sees — a message can be "on the wire" (in a
+kernel socket buffer) with no timer pending for it.  TCP channel ends
+therefore hold an *I/O token* (``_io_begin``/``_io_end``) per in-flight
+frame, counted exactly like a strong timer, so quiescence means "no
+timers **and** nothing in flight", matching the simulator's in-flight
+``call_at`` hops.
+
+The loop is private to the runtime and never runs concurrently with
+protocol code: ``run``/``run_process`` drive it with
+``run_until_complete`` on a wake future that fires on strong-count
+exhaustion, recorded failure, or the watched process finishing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Callable, Generator, Iterator, Optional
+
+from repro.errors import (
+    ProcessKilled,
+    RuntimeStopped,
+    SimulationError,
+    SimulationStalled,
+)
+from repro.sim.kernel import ALIVE, DONE, FAILED, KILLED, Delay, Process
+
+#: Safety-net poll while parked in ``run_until_complete`` — every wake
+#: condition is event-driven, this only bounds lost-wakeup bugs.
+_POLL = 0.05
+
+
+class _Timer:
+    """One scheduled callback plus its strong/weak bookkeeping."""
+
+    __slots__ = ("runtime", "callback", "arg", "weak", "handle")
+
+    def __init__(self, runtime: "AsyncioRuntime", callback, arg, weak: bool):
+        self.runtime = runtime
+        self.callback = callback
+        self.arg = arg
+        self.weak = weak
+        self.handle: Optional[asyncio.TimerHandle] = None
+
+    def fire(self) -> None:
+        rt = self.runtime
+        rt._timers.discard(self)
+        if not self.weak:
+            rt._strong -= 1
+        try:
+            self.callback(self.arg)
+        except BaseException as err:  # noqa: BLE001 - surface via run()
+            # Process steps never raise (they record failures); a raw
+            # call_at callback that does must still abort the run loop
+            # instead of vanishing into the loop's exception handler.
+            if rt._failure is None:
+                rt._failure = (_timer_pseudo_process(self.callback), err)
+        rt._check_wake()
+
+
+class _TimerProcess:
+    """Stand-in giving a raw callback a ``name`` for failure reports."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+
+def _timer_pseudo_process(callback) -> _TimerProcess:
+    return _TimerProcess(f"timer:{getattr(callback, '__qualname__', callback)!r}")
+
+
+class AsyncioRuntime:
+    """Wall-clock implementation of the protocol kernel interface."""
+
+    clock = "wall"
+
+    def __init__(self, seed: int = 0, trace: Optional[Callable[..., None]] = None):
+        self._loop = asyncio.new_event_loop()
+        self._t0 = self._loop.time()
+        self._seed = seed
+        self._rngs: dict[str, random.Random] = {}
+        self._failure: Optional[tuple[Any, BaseException]] = None
+        self._trace = trace
+        self.processes: list[Process] = []
+        #: strong pending work: non-weak timers + in-flight I/O tokens
+        self._strong = 0
+        self._timers: set[_Timer] = set()
+        self._tasks: set[asyncio.Task] = set()
+        #: teardown hooks registered by I/O layers (TcpNetwork etc.)
+        self._closers: list[Callable[[], None]] = []
+        self._wake: Optional[asyncio.Future] = None
+        self._watch: Optional[Process] = None
+        self._stopped = False
+
+    # -- time & randomness ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Seconds of real time elapsed since the runtime was created."""
+        return self._loop.time() - self._t0
+
+    def rng(self, stream: str) -> random.Random:
+        """Identical derivation to the simulator: ``Random(f"{seed}/{stream}")``.
+
+        Cross-runtime conformance depends on this — the same stream
+        yields the same draw sequence under either scheduler.
+        """
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = random.Random(f"{self._seed}/{stream}")
+            self._rngs[stream] = rng
+        return rng
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(
+        self, delay: float, callback: Callable, arg: Any, weak: bool = False
+    ) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        if self._loop.is_closed():
+            return  # post-stop stragglers (joiner resumes, etc.) are moot
+        timer = _Timer(self, callback, arg, weak)
+        timer.handle = self._loop.call_later(delay, timer.fire)
+        self._timers.add(timer)
+        if not weak:
+            self._strong += 1
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute runtime ``time``.
+
+        Unlike the simulator this *clamps* past targets to "now": real
+        time advances between computing a target (e.g. the sequencer's
+        ``max(now, busy_until)``) and scheduling it, so a small negative
+        delta is normal here, not a determinism bug.
+        """
+        self._schedule(max(0.0, time - self.now), lambda _arg: callback(), None)
+
+    def sleep(self, duration: float, weak: bool = False) -> Delay:
+        """Awaitable: resume after ``duration`` real seconds."""
+        return Delay(duration, weak=weak)
+
+    def _record_failure(self, process: Process, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = (process, exc)
+        self._check_wake()
+
+    # -- I/O tokens (see module docstring) -----------------------------------
+
+    def _io_begin(self) -> None:
+        self._strong += 1
+
+    def _io_end(self) -> None:
+        self._strong -= 1
+        self._check_wake()
+
+    # -- asyncio plumbing ----------------------------------------------------
+
+    def spawn_task(self, coro) -> asyncio.Task:
+        """Run a raw coroutine (socket pump, server) on the private loop."""
+        task = self._loop.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    def add_closer(self, closer: Callable[[], None]) -> None:
+        """Register a teardown hook run by :meth:`stop`."""
+        self._closers.append(closer)
+
+    def _check_wake(self) -> None:
+        wake = self._wake
+        if wake is None or wake.done():
+            return
+        if (
+            self._strong == 0
+            or self._failure is not None
+            or (self._watch is not None and self._watch.state != ALIVE)
+        ):
+            wake.set_result(None)
+
+    async def _park(self, timeout: float) -> None:
+        try:
+            await asyncio.wait_for(asyncio.shield(self._wake), timeout)
+        except asyncio.TimeoutError:
+            pass
+
+    def _turn(self, timeout: float) -> None:
+        """Run the loop until a wake condition or ``timeout`` elapses."""
+        self._wake = self._loop.create_future()
+        self._check_wake()  # condition may already hold
+        try:
+            self._loop.run_until_complete(self._park(timeout))
+        finally:
+            self._wake = None
+
+    def _raise_failure(self) -> None:
+        if self._failure is not None:
+            process, exc = self._failure
+            self._failure = None
+            raise SimulationError(
+                f"process {process.name!r} failed at t={self.now:.6f}"
+            ) from exc
+
+    # -- processes -----------------------------------------------------------
+
+    def spawn(self, gen, name: str = "?", daemon: bool = False) -> Process:
+        """Create a process and schedule its first step immediately."""
+        if isinstance(gen, Iterator) and not isinstance(gen, Generator):
+            raise SimulationError(f"spawn needs a generator, got {type(gen)!r}")
+        process = Process(self, gen, name, daemon)
+        self.processes.append(process)
+        self._schedule(0.0, process._step_if_alive, None)
+        if self._trace:
+            self._trace("spawn", self.now, name)
+        return process
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the loop until quiescent or past the ``until`` horizon.
+
+        Quiescent means no strong timers pending and no I/O in flight —
+        the same condition under which the simulator's heap counts as
+        drained (weak monitoring timers don't keep a run alive here
+        either).
+        """
+        if self._stopped:
+            raise SimulationError("runtime already stopped")
+        while True:
+            self._raise_failure()
+            if until is None:
+                if self._strong == 0:
+                    return
+                self._turn(_POLL)
+            else:
+                remaining = (self._t0 + until) - self._loop.time()
+                if remaining <= 0:
+                    return
+                self._turn(min(_POLL, remaining))
+            self._raise_failure()
+
+    def run_process(self, gen, name: str = "main") -> Any:
+        """Spawn ``gen`` and drive the loop until it finishes."""
+        if self._stopped:
+            raise SimulationError("runtime already stopped")
+        process = self.spawn(gen, name=name, daemon=True)
+        previous_watch, self._watch = self._watch, process
+        try:
+            while process.state == ALIVE and self._strong:
+                self._turn(_POLL)
+                self._raise_failure()
+        finally:
+            self._watch = previous_watch
+        if process.state == DONE:
+            return process.result
+        if process.state == FAILED:
+            raise process.exception  # type: ignore[misc]
+        if process.state == KILLED:
+            raise ProcessKilled(f"process {name!r} was killed")
+        raise SimulationStalled(
+            f"no pending work at t={self.now:.6f} while {name!r} "
+            f"was still blocked on {process._waiting_on!r}"
+        )
+
+    # -- shutdown ------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Tear the runtime down without leaking sockets, timers, or FDs.
+
+        Sweep order: (1) fail every blocked ``Event``/``OneShot`` waiter
+        with :class:`~repro.errors.RuntimeStopped` — the ``OneShot.fail``
+        path — and let the loop drain so generators unwind; (2) kill any
+        process still alive; (3) cancel all outstanding timers; (4) run
+        registered closers (listening sockets, channel transports) and
+        drain their FIN handshakes; (5) cancel remaining asyncio tasks
+        and close the loop.  Idempotent.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        loop = self._loop
+        if loop.is_closed():
+            return
+        stop_exc = RuntimeStopped("runtime stopped")
+        for process in list(self.processes):
+            if process.state != ALIVE:
+                continue
+            event = getattr(process._waiting_on, "event", None)
+            if event is not None:
+                event.throw(stop_exc)
+        self._drain(rounds=5)
+        for process in list(self.processes):
+            process.kill()
+        self._drain(rounds=2)
+        for timer in list(self._timers):
+            if timer.handle is not None:
+                timer.handle.cancel()
+        self._timers.clear()
+        self._strong = 0
+        for closer in self._closers:
+            closer()
+        self._closers.clear()
+        self._drain(rounds=3)
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            loop.run_until_complete(
+                asyncio.gather(*self._tasks, return_exceptions=True)
+            )
+        self._tasks.clear()
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+        self._failure = None
+
+    def _drain(self, rounds: int) -> None:
+        """Give the loop a few short turns so teardown callbacks land."""
+        for _ in range(rounds):
+            try:
+                self._loop.run_until_complete(asyncio.sleep(0.001))
+            except RuntimeError:  # pragma: no cover - loop closed under us
+                return
+        self._failure = None

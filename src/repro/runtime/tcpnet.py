@@ -1,0 +1,403 @@
+"""Real TCP sockets behind the simulator's Channel semantics.
+
+:class:`TcpNetwork` mirrors :class:`repro.net.network.Network` —
+``register`` / ``connect`` / ``crash`` / ``unique_address`` — but every
+channel is a real loopback TCP connection on the runtime's asyncio
+loop.  The protocol-visible contract is identical to the simulated one:
+
+* reliable FIFO duplex delivery (TCP gives us this for free);
+* ``send`` on a broken channel is silently dropped;
+* a crash delivers :class:`~repro.net.network.ChannelClosed` to the
+  survivor **behind** in-flight data — implemented by closing the dead
+  end's transport gracefully (FIN, not RST), so the kernel drains what
+  was already on the wire before the pump sees EOF;
+* ``connect`` raises ``ChannelClosed`` synchronously when the server is
+  missing or dead, and the server end lands in ``Host.accept()``
+  immediately (socket establishment happens in the background — sends
+  buffer inside the end until the transport attaches).
+
+Frames are 4-byte big-endian length-prefixed pickles.  Each in-flight
+frame holds a runtime I/O token so ``run()`` treats wire-buffered data
+exactly like the simulator treats in-flight ``call_at`` hops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import pickle
+from typing import Any, Generator, Optional
+
+from repro.errors import ReproError
+from repro.net.network import BREAK, ChannelClosed
+from repro.sim import Queue
+
+
+def _frame(obj: Any) -> bytes:
+    data = pickle.dumps(obj)
+    return len(data).to_bytes(4, "big") + data
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Any:
+    header = await reader.readexactly(4)
+    length = int.from_bytes(header, "big")
+    return pickle.loads(await reader.readexactly(length))
+
+
+class TcpNetwork:
+    """Registry of TCP hosts plus the crash switchboard."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        #: protocol code reaches the kernel as ``network.sim`` — keep
+        #: the attribute name so the driver works on either backend
+        self.sim = runtime
+        self.latency = None  # the wire is the latency model here
+        self.hosts: dict[str, TcpHost] = {}
+        self._label_counts: dict[str, int] = {}
+        #: channels awaiting their server-side socket, keyed by hello id
+        self._handshakes: dict[int, TcpChannel] = {}
+        runtime.add_closer(self._close_all)
+
+    def unique_address(self, prefix: str = "client") -> str:
+        count = self._label_counts.get(prefix, 0)
+        while True:
+            count += 1
+            address = f"{prefix}-{count}"
+            if address not in self.hosts:
+                break
+        self._label_counts[prefix] = count
+        return address
+
+    def register(self, address: str) -> "TcpHost":
+        existing = self.hosts.get(address)
+        if existing is not None and existing.alive:
+            raise ReproError(f"duplicate host address {address!r}")
+        host = TcpHost(self, address)
+        self.hosts[address] = host
+        return host
+
+    def host(self, address: str) -> "TcpHost":
+        return self.hosts[address]
+
+    def connect(self, client: "TcpHost", server_address: str) -> "TcpChannel":
+        """Open a duplex channel; the server side lands in ``accept()``.
+
+        Like the simulated network this is synchronous — both ends exist
+        immediately and are usable (sends buffer); the TCP three-way
+        handshake completes in the background.
+        """
+        server = self.hosts.get(server_address)
+        if server is None or not server.alive or not client.alive:
+            raise ChannelClosed(f"cannot connect to {server_address!r}")
+        channel = TcpChannel(self, client, server)
+        self._handshakes[channel.id] = channel
+        server._pending.put(channel.server_end)
+        self.runtime.spawn_task(channel._establish())
+        return channel
+
+    def crash(self, address: str) -> None:
+        """Take a host down: break all of its channels, refuse new ones."""
+        host = self.hosts[address]
+        if not host.alive:
+            return
+        host.alive = False
+        if host._server is not None:
+            host._server.close()
+        if not host._port.done():
+            host._port.set_result(None)
+        for channel in list(host.channels):
+            channel._break(crashed=host)
+
+    def _close_all(self) -> None:
+        """Runtime-stop closer: free every listening socket and transport."""
+        for host in list(self.hosts.values()):
+            if host._server is not None:
+                host._server.close()
+                host._server = None
+            if not host._port.done():
+                host._port.set_result(None)
+        for host in list(self.hosts.values()):
+            for channel in list(host.channels):
+                channel._break()
+        self._handshakes.clear()
+
+
+class TcpHost:
+    """A network attachment point backed by a loopback listening socket."""
+
+    def __init__(self, network: TcpNetwork, address: str):
+        self.network = network
+        self.address = address
+        self.alive = True
+        self.channels: list[TcpChannel] = []
+        self._pending: Queue = Queue(name=f"accept({address})")
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._port: asyncio.Future = network.runtime._loop.create_future()
+        network.runtime.spawn_task(self._serve())
+
+    async def _serve(self) -> None:
+        try:
+            server = await asyncio.start_server(
+                self._on_connection, "127.0.0.1", 0
+            )
+        except OSError:
+            if not self._port.done():
+                self._port.set_result(None)
+            return
+        if not self.alive:
+            server.close()
+            if not self._port.done():
+                self._port.set_result(None)
+            return
+        self._server = server
+        if not self._port.done():
+            self._port.set_result(server.sockets[0].getsockname()[1])
+
+    async def _on_connection(self, reader, writer) -> None:
+        try:
+            chan_id = await _read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            writer.close()
+            return
+        channel = self.network._handshakes.pop(chan_id, None)
+        if channel is None or not self.alive:
+            writer.close()
+            return
+        if channel._refuse:
+            writer.close()
+            channel.server_end._end_of_stream()
+            return
+        channel._attach(channel.server_end, reader, writer)
+
+    def accept(self):
+        """Awaitable: the server end of the next inbound channel."""
+        return self._pending.get()
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "down"
+        return f"<TcpHost {self.address} {state}>"
+
+
+class TcpChannel:
+    """Reliable FIFO duplex pipe carried by one loopback TCP connection."""
+
+    _ids = itertools.count()
+
+    def __init__(self, network: TcpNetwork, client: TcpHost, server: TcpHost):
+        self.network = network
+        self.id = next(self._ids)
+        self.client_end = TcpChannelEnd(self, client, server)
+        self.server_end = TcpChannelEnd(self, server, client)
+        self.client_end.peer = self.server_end
+        self.server_end.peer = self.client_end
+        #: no further sends accepted (orderly close or crash)
+        self.broken = False
+        #: crash teardown: late socket establishment is refused outright
+        #: (an orderly close still flushes buffered frames first)
+        self._refuse = False
+        client.channels.append(self)
+        server.channels.append(self)
+
+    async def _establish(self) -> None:
+        server_host = self.server_end.host
+        try:
+            port = await server_host._port
+        except Exception:  # noqa: BLE001 - any failure means no socket
+            port = None
+        if (
+            port is None
+            or self._refuse
+            or not server_host.alive
+            or not self.client_end.host.alive
+        ):
+            self.network._handshakes.pop(self.id, None)
+            self._fail_establish()
+            return
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        except OSError:
+            self.network._handshakes.pop(self.id, None)
+            self._fail_establish()
+            return
+        writer.write(_frame(self.id))
+        self._attach(self.client_end, reader, writer)
+
+    def _attach(self, end: "TcpChannelEnd", reader, writer) -> None:
+        """Bind the real socket to ``end``: flush buffered sends, pump."""
+        if self._refuse:
+            writer.close()
+            end._end_of_stream()
+            return
+        end._reader = reader
+        end._writer = writer
+        buffered, end._buffer = end._buffer, None
+        for frame_bytes in buffered:
+            writer.write(frame_bytes)
+        if self.broken:
+            # orderly close raced establishment: FIN behind the flush so
+            # the peer still drains the buffered frames first
+            writer.close()
+        self.network.runtime.spawn_task(end._pump())
+
+    def _fail_establish(self) -> None:
+        """The socket never came up: synthesize the break on both ends."""
+        self.broken = True
+        self._detach_hosts()
+        self.client_end._end_of_stream()
+        self.server_end._end_of_stream()
+
+    def _detach_hosts(self) -> None:
+        for end in (self.client_end, self.server_end):
+            if self in end.host.channels:
+                end.host.channels.remove(self)
+
+    def _break(self, crashed: Optional[TcpHost] = None) -> None:
+        """Crash teardown: FIN attached transports, synthesize the rest.
+
+        Graceful close (not RST) is what preserves the simulator's
+        "break notice travels behind in-flight data" guarantee — the
+        peer's pump drains everything already written before hitting
+        EOF and delivering :data:`BREAK`.
+        """
+        if self._refuse:
+            return
+        self.broken = True
+        self._refuse = True
+        self.network._handshakes.pop(self.id, None)
+        self._detach_hosts()
+        for end in (self.client_end, self.server_end):
+            if end._writer is not None:
+                _safe_close(end._writer)
+            else:
+                # no socket on this side, so no EOF will ever arrive:
+                # deliver the in-band break (and free its peer's tokens)
+                end._end_of_stream()
+
+    def _on_pump_eof(self, end: "TcpChannelEnd") -> None:
+        self.broken = True
+        self._detach_hosts()
+        if end._writer is not None:
+            _safe_close(end._writer)
+        end._end_of_stream()
+
+    def close(self) -> None:
+        """Orderly local close: flush, FIN, both ends see a break."""
+        if self.broken:
+            return
+        self.broken = True
+        self._detach_hosts()
+        for end in (self.client_end, self.server_end):
+            if end._writer is not None:
+                _safe_close(end._writer)
+            # unattached ends flush-and-FIN when _attach runs (or break
+            # via _fail_establish if the socket never comes up)
+
+
+def _safe_close(writer) -> None:
+    try:
+        writer.close()
+    except RuntimeError:  # pragma: no cover - loop already closed
+        pass
+
+
+class TcpChannelEnd:
+    """One direction pair of a channel: ``send`` to peer, ``recv`` from it."""
+
+    def __init__(self, channel: TcpChannel, host: TcpHost, peer_host: TcpHost):
+        self.channel = channel
+        self.host = host
+        self.peer_host = peer_host
+        self.peer: "TcpChannelEnd" = None  # type: ignore[assignment]
+        self._inbox: Queue = Queue(name=f"chan{channel.id}@{host.address}")
+        self._closed = False
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: frames sent before the transport attached
+        self._buffer: Optional[list[bytes]] = []
+        #: frames this end has sent that the peer has not yet received;
+        #: each holds a strong I/O token on the runtime
+        self._outstanding = 0
+        self._eof = False
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, message: Any) -> None:
+        """Write ``message`` to the peer (buffered until the socket is up).
+
+        Sends on a broken channel are silently dropped, matching the
+        simulated network (and writes racing a dead TCP peer).
+        """
+        if self.channel.broken or not self.peer_host.alive:
+            return
+        frame_bytes = _frame(message)
+        self._outstanding += 1
+        self.channel.network.runtime._io_begin()
+        if self._buffer is not None:
+            self._buffer.append(frame_bytes)
+        else:
+            try:
+                self._writer.write(frame_bytes)
+            except (RuntimeError, OSError):
+                pass  # racing teardown; tokens freed by the break path
+
+    def _token_release(self) -> None:
+        if self._outstanding > 0:
+            self._outstanding -= 1
+            self.channel.network.runtime._io_end()
+
+    def _release_all(self) -> None:
+        while self._outstanding > 0:
+            self._token_release()
+
+    # -- receiving ---------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        reader = self._reader
+        while True:
+            try:
+                message = await _read_frame(reader)
+            except (
+                asyncio.IncompleteReadError,
+                ConnectionError,
+                OSError,
+                pickle.PickleError,
+                EOFError,
+                asyncio.CancelledError,
+            ):
+                break
+            self._deliver(message)
+            # deliver-then-release: the resumption this put scheduled is
+            # already strong, so the count never transits zero mid-frame
+            self.peer._token_release()
+        self.channel._on_pump_eof(self)
+
+    def _deliver(self, message: Any) -> None:
+        if self._closed or not self.host.alive:
+            return
+        self._inbox.put(message)
+
+    def _end_of_stream(self) -> None:
+        """Terminal edge of this end: free peer tokens, queue the break."""
+        if self._eof:
+            return
+        self._eof = True
+        self.peer._release_all()
+        if self.host.alive and not self._closed:
+            self._inbox.put(BREAK)
+
+    def recv(self) -> Generator[Any, Any, Any]:
+        """Await the next message; raises :class:`ChannelClosed` at break."""
+        if self._closed:
+            raise ChannelClosed("channel already closed")
+        message = yield self._inbox.get()
+        if message is BREAK:
+            self._closed = True
+            raise ChannelClosed(
+                f"peer {self.peer_host.address!r} closed the channel"
+            )
+        return message
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self.channel.broken

@@ -222,6 +222,11 @@ class _Join:
 class Simulator:
     """Deterministic discrete-event loop with named random streams."""
 
+    #: Which clock this runtime advances: ``"sim"`` (virtual time) or
+    #: ``"wall"`` (real time).  Metrics and bench envelopes are tagged
+    #: with it so wall-clock numbers never compare against sim baselines.
+    clock = "sim"
+
     def __init__(self, seed: int = 0, trace: Optional[Callable[..., None]] = None):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable, Any, bool]] = []
@@ -343,6 +348,14 @@ class Simulator:
                 raise SimulationError(
                     f"process {process.name!r} failed at t={self._now:.6f}"
                 ) from exc
+
+    def stop(self) -> None:
+        """Release external resources held by the runtime.
+
+        The simulator holds none (virtual timers are just heap entries),
+        so this is a no-op; it exists so deployment teardown can call
+        ``runtime.stop()`` uniformly across backends.
+        """
 
     def run_process(self, gen: Coroutine, name: str = "main") -> Any:
         """Spawn ``gen`` and run the loop until it finishes.

@@ -107,6 +107,21 @@ def test_compare_flags_missing_metric_and_mode_mismatch():
     ]
 
 
+def test_compare_flags_runtime_mismatch():
+    """Wall seconds and sim seconds are different units: a result from
+    one runtime never band-checks against a baseline from the other."""
+    base = envelope(metrics={"throughput_tps": 100.0})  # implicit sim
+    wall = envelope(metrics={"throughput_tps": 100.0})
+    wall["runtime"] = "wall"
+    assert [v["kind"] for v in compare_result("batching", wall, base)] == [
+        "runtime_mismatch"
+    ]
+    # and a legacy baseline with no runtime key means sim
+    sim_result = envelope(metrics={"throughput_tps": 100.0})
+    sim_result["runtime"] = "sim"
+    assert compare_result("batching", sim_result, base) == []
+
+
 def test_micro_ops_wall_clock_band_is_wide():
     base = envelope(metrics={"indexed_us_depth1": 2.0})
     cur = envelope(metrics={"indexed_us_depth1": 7.0})  # 3.5x: machine noise
@@ -251,4 +266,14 @@ def test_bench_registry_names_match_issue():
         "shard_scaling",
         "recovery",
         "micro_ops",
+        "realtime",
     }
+
+
+def test_wall_benches_excluded_from_default_sweep():
+    """The default (no ``names``) sweep is the deterministic sim set;
+    wall-clock benches only run when explicitly requested."""
+    from repro.bench.suite import WALL_BENCHES
+
+    assert WALL_BENCHES == {"realtime"}
+    assert WALL_BENCHES < set(BENCHES)

@@ -184,9 +184,14 @@ def test_local_close_breaks_both_ends():
     sim.run()
 
 
-def test_latency_model_deterministic_without_rng():
-    model = LatencyModel(base=0.004, jitter=0.01, rng=None)
+def test_latency_model_without_rng_requires_no_jitter():
+    # jitter-free models never draw randomness, so no RNG is fine...
+    model = LatencyModel(base=0.004, jitter=0.0, rng=None)
     assert model.sample() == 0.004
+    # ...but jitter with no RNG bound is a configuration error, not a
+    # silent fall-back to determinism
+    with pytest.raises(ReproError):
+        LatencyModel(base=0.004, jitter=0.01, rng=None).sample()
 
 
 def test_latency_model_jitter_bounds():

@@ -1,0 +1,98 @@
+"""Every latency/jitter sample comes from an injectable seeded RNG.
+
+Satellite of the runtime-backend PR: no module-level RNG fallbacks
+anywhere on the network or GCS paths — an unbound jittery model is a
+configuration error, a bound one is bit-for-bit reproducible from the
+simulator seed.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gcs import GroupBus
+from repro.net import LatencyModel, Network
+from repro.sim import Simulator
+
+
+def test_unbound_jitter_is_a_loud_error():
+    model = LatencyModel(base=0.001, jitter=0.004)
+    with pytest.raises(ReproError, match="no RNG bound"):
+        model.sample()
+
+
+def test_jitter_free_model_needs_no_rng():
+    model = LatencyModel(base=0.002, jitter=0.0)
+    assert model.sample() == 0.002
+
+
+def test_network_binds_its_sim_net_stream():
+    """Attaching a model to a Network late-binds ``sim.rng('net')`` so
+    the constructor shorthand stays reproducible."""
+    sim_a = Simulator(seed=42)
+    net_a = Network(sim_a, latency=LatencyModel(base=0.001, jitter=0.004))
+    sim_b = Simulator(seed=42)
+    net_b = Network(sim_b, latency=LatencyModel(base=0.001, jitter=0.004))
+    samples_a = [net_a.latency.sample() for _ in range(20)]
+    samples_b = [net_b.latency.sample() for _ in range(20)]
+    assert samples_a == samples_b
+    assert all(0.001 <= s <= 0.005 for s in samples_a)
+
+
+def test_explicit_rng_wins_over_auto_bind():
+    sim = Simulator(seed=7)
+    model = LatencyModel(base=0.001, jitter=0.004, rng=sim.rng("custom"))
+    Network(sim, latency=model)  # bind_rng must not clobber the explicit RNG
+    reference = Simulator(seed=7).rng("custom")
+    expected = LatencyModel(base=0.001, jitter=0.004, rng=reference)
+    assert [model.sample() for _ in range(10)] == [
+        expected.sample() for _ in range(10)
+    ]
+
+
+def test_group_bus_rng_is_injectable():
+    """The GCS jitter stream is injectable: by stream name or by handing
+    the bus an RNG object outright."""
+    sim = Simulator(seed=9)
+    bus_default = GroupBus(sim)
+    assert bus_default._rng is sim.rng("gcs")
+
+    sim2 = Simulator(seed=9)
+    bus_named = GroupBus(sim2, rng_stream="gcs-alt")
+    assert bus_named._rng is sim2.rng("gcs-alt")
+
+    sim3 = Simulator(seed=9)
+    explicit = sim3.rng("mine")
+    bus_explicit = GroupBus(sim3, rng=explicit)
+    assert bus_explicit._rng is explicit
+
+
+def test_same_seed_same_wire_timings_end_to_end():
+    """Whole-path reproducibility: two seeded simulators drive the same
+    jittery network exchange and observe identical timestamps."""
+
+    def exchange(seed):
+        sim = Simulator(seed=seed)
+        net = Network(sim, latency=LatencyModel(base=0.001, jitter=0.01))
+        client = net.register("client")
+        server = net.register("server")
+        stamps = []
+
+        def server_proc():
+            end = yield server.accept()
+            for _ in range(10):
+                yield from end.recv()
+                stamps.append(sim.now)
+
+        def client_proc():
+            channel = net.connect(client, "server")
+            for i in range(10):
+                channel.client_end.send(i)
+                yield sim.sleep(0.002)
+
+        sim.spawn(server_proc(), name="server")
+        sim.spawn(client_proc(), name="client")
+        sim.run()
+        return stamps
+
+    assert exchange(31) == exchange(31)
+    assert exchange(31) != exchange(32)

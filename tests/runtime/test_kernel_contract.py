@@ -1,0 +1,291 @@
+"""The kernel contract, enforced against BOTH runtimes.
+
+Every test here runs once under the deterministic :class:`Simulator`
+and once under :class:`AsyncioRuntime` — the whole point of the runtime
+API is that protocol code cannot tell which scheduler is underneath, so
+the contract tests must not be able to either.  Timings use small wall
+delays; assertions are about *ordering and semantics*, never latency.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ProcessKilled, QueueClosed
+from repro.net import ChannelClosed
+from repro.runtime import make_runtime
+from repro.sim.kernel import KILLED
+from repro.sim.sync import OneShot, Queue
+
+
+@pytest.fixture(params=["sim", "wall"])
+def rt(request):
+    runtime = make_runtime(request.param, seed=0)
+    yield runtime
+    runtime.stop()
+
+
+def make_network(runtime):
+    """The runtime's native network substrate (same Channel contract)."""
+    if runtime.clock == "wall":
+        from repro.runtime import TcpNetwork
+
+        return TcpNetwork(runtime)
+    from repro.net import LatencyModel, Network
+
+    return Network(runtime, latency=LatencyModel(base=0.001))
+
+
+# ------------------------------------------------------------------ processes
+
+
+def test_spawn_run_and_return_value(rt):
+    def proc():
+        yield rt.sleep(0.01)
+        return "done"
+
+    assert rt.run_process(proc()) == "done"
+    assert rt.now >= 0.01
+
+
+def test_kill_while_blocked_runs_cleanup_and_fails_joiners(rt):
+    """Killing a process blocked on a queue closes its generator (the
+    ``finally`` runs) and resumes joiners with :class:`ProcessKilled`."""
+    inbox = Queue("inbox")
+    log = []
+
+    def blocked():
+        try:
+            yield inbox.get()
+        finally:
+            log.append("cleanup")
+
+    victim = rt.spawn(blocked(), name="victim", daemon=True)
+
+    def killer():
+        yield rt.sleep(0.01)
+        victim.kill()
+        assert log == ["cleanup"]
+        try:
+            yield victim.join()
+        except ProcessKilled:
+            log.append("join-raised")
+
+    rt.run_process(killer())
+    assert victim.state == KILLED
+    assert log == ["cleanup", "join-raised"]
+
+
+def test_kill_while_blocked_on_sleep(rt):
+    def sleeper():
+        yield rt.sleep(60.0)
+
+    victim = rt.spawn(sleeper(), name="sleeper", daemon=True)
+
+    def killer():
+        yield rt.sleep(0.01)
+        victim.kill()
+
+    started = time.monotonic()
+    rt.run_process(killer())
+    assert victim.state == KILLED
+    # the victim's 60s timer must not keep the run alive
+    assert time.monotonic() - started < 30.0
+
+
+# -------------------------------------------------------------------- timers
+
+
+def test_weak_sleep_never_keeps_the_run_alive(rt):
+    """A daemon blocked on a weak 60s sleep must not delay ``run``
+    returning once all strong work has drained."""
+    woke = []
+
+    def monitor():
+        yield rt.sleep(60.0, weak=True)
+        woke.append(True)
+
+    def main():
+        yield rt.sleep(0.01)
+        return "finished"
+
+    rt.spawn(monitor(), name="monitor", daemon=True)
+    started = time.monotonic()
+    assert rt.run_process(main()) == "finished"
+    assert time.monotonic() - started < 30.0
+    assert not woke
+
+
+def test_call_at_fires_in_order(rt):
+    fired = []
+
+    def main():
+        rt.call_at(rt.now + 0.03, lambda: fired.append("late"))
+        rt.call_at(rt.now + 0.01, lambda: fired.append("early"))
+        yield rt.sleep(0.06)
+        return list(fired)
+
+    assert rt.run_process(main()) == ["early", "late"]
+
+
+# -------------------------------------------------------------------- queues
+
+
+def test_queue_close_drains_fifo_then_fails(rt):
+    """Items queued before ``close`` still reach getters (FIFO), only
+    then does ``get`` raise :class:`QueueClosed`."""
+    q = Queue("q")
+    q.put("a")
+    q.put("b")
+    q.close()
+
+    def consumer():
+        items = []
+        try:
+            while True:
+                items.append((yield q.get()))
+        except QueueClosed:
+            items.append("closed")
+        return items
+
+    assert rt.run_process(consumer()) == ["a", "b", "closed"]
+    with pytest.raises(QueueClosed):
+        q.put("late")
+
+
+def test_queue_close_wakes_blocked_getter(rt):
+    q = Queue("q")
+    got = []
+
+    def consumer():
+        try:
+            yield q.get()
+        except QueueClosed:
+            got.append("closed-while-blocked")
+
+    rt.spawn(consumer(), name="consumer", daemon=True)
+
+    def closer():
+        yield rt.sleep(0.01)
+        q.close()
+        yield rt.sleep(0.01)
+
+    rt.run_process(closer())
+    assert got == ["closed-while-blocked"]
+
+
+def test_one_shot_round_trip(rt):
+    slot = OneShot()
+
+    def producer():
+        yield rt.sleep(0.01)
+        slot.resolve(42)
+
+    def consumer():
+        value = yield slot.wait()
+        return value
+
+    rt.spawn(producer(), name="producer")
+    assert rt.run_process(consumer()) == 42
+
+
+# ------------------------------------------------------------------ channels
+
+
+def test_channel_round_trip(rt):
+    net = make_network(rt)
+    client = net.register("client")
+    server = net.register("server")
+
+    def server_proc():
+        end = yield server.accept()
+        request = yield from end.recv()
+        end.send(request + "-reply")
+
+    def client_proc():
+        channel = net.connect(client, "server")
+        channel.client_end.send("ping")
+        reply = yield from channel.client_end.recv()
+        return reply
+
+    rt.spawn(server_proc(), name="server")
+    assert rt.run_process(client_proc()) == "ping-reply"
+
+
+def test_channel_break_drains_in_flight_then_raises(rt):
+    """FIFO-then-break: data sent before the crash is delivered, the
+    break arrives strictly behind it as :class:`ChannelClosed`."""
+    net = make_network(rt)
+    client = net.register("client")
+    server = net.register("server")
+
+    def server_proc():
+        end = yield server.accept()
+        for i in range(3):
+            end.send(f"msg-{i}")
+        # crashed from outside right after sending: all three frames
+        # are already on the wire
+
+    def client_proc():
+        channel = net.connect(client, "server")
+        yield rt.sleep(0.05)  # let the frames land, then crash the peer
+        net.crash("server")
+        got = []
+        for _ in range(3):
+            got.append((yield from channel.client_end.recv()))
+        assert got == ["msg-0", "msg-1", "msg-2"]
+        with pytest.raises(ChannelClosed):
+            yield from channel.client_end.recv()
+        return True
+
+    rt.spawn(server_proc(), name="server")
+    assert rt.run_process(client_proc()) is True
+
+
+def test_connect_to_crashed_host_raises(rt):
+    net = make_network(rt)
+    client = net.register("client")
+    net.register("server")
+    net.crash("server")
+
+    def client_proc():
+        with pytest.raises(ChannelClosed):
+            net.connect(client, "server")
+        yield rt.sleep(0)
+        return True
+
+    assert rt.run_process(client_proc()) is True
+
+
+def test_orderly_close_flushes_before_break(rt):
+    """``close()`` is FIN, not RST: frames sent before the close are
+    delivered before the receiver sees :class:`ChannelClosed`."""
+    net = make_network(rt)
+    client = net.register("client")
+    server = net.register("server")
+
+    def server_proc():
+        end = yield server.accept()
+        got = []
+        try:
+            while True:
+                got.append((yield from end.recv()))
+        except ChannelClosed:
+            pass
+        return got
+
+    def client_proc():
+        channel = net.connect(client, "server")
+        channel.client_end.send("one")
+        channel.client_end.send("two")
+        channel.close()
+        yield rt.sleep(0)
+
+    worker = rt.spawn(server_proc(), name="server")
+    rt.spawn(client_proc(), name="client")
+
+    def waiter():
+        got = yield worker.join()
+        return got
+
+    assert rt.run_process(waiter()) == ["one", "two"]
